@@ -1,0 +1,106 @@
+// Figure 11: foreign-key smoothing in Scenario OneXr. Vary γ = fraction of
+// D_FK withheld from training; compare (A) random reassignment vs (B)
+// X_R-based reassignment for JoinAll / NoJoin / NoFK with a gini tree.
+//
+// Paper claim to check: X_R-based smoothing keeps errors near the Bayes
+// error for γ < 0.5 and degrades gracefully; random reassignment is much
+// worse throughout (X_R carries the signal in OneXr).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "hamlet/core/fk_smoothing.h"
+#include "hamlet/synth/onexr.h"
+
+namespace {
+
+using namespace hamlet;
+
+/// Builds an OneXr dataset where training rows only use FK codes
+/// [floor(gamma * nr), nr) — i.e. a γ fraction of the domain is unseen in
+/// training but occurs at test time. Returns the gini-tree holdout error
+/// after smoothing with `method`.
+double ErrorWithSmoothing(double gamma, core::SmoothingMethod method,
+                          core::FeatureVariant variant, uint64_t seed) {
+  synth::OneXrConfig cfg;
+  cfg.ns = 1500;
+  cfg.nr = 60;
+  cfg.seed = seed;
+  StarSchema star = synth::GenerateOneXr(cfg);
+  Result<core::PreparedData> prepared = core::Prepare(star, seed + 1);
+  core::PreparedData& p = prepared.value();
+
+  // Move rows whose FK < gamma*nr out of the training split (into test)
+  // to realise "unseen during training".
+  const int fk_col = p.data.IndexOf("fk_r");
+  const uint32_t cutoff = static_cast<uint32_t>(gamma * cfg.nr);
+  std::vector<uint32_t> new_train;
+  for (uint32_t row : p.split.train) {
+    if (p.data.feature(row, static_cast<size_t>(fk_col)) < cutoff) {
+      p.split.test.push_back(row);
+    } else {
+      new_train.push_back(row);
+    }
+  }
+  p.split.train = std::move(new_train);
+
+  // Fit the smoothing map on the training rows and rewrite the FK column.
+  DataView train_fk(&p.data, p.split.train,
+                    {static_cast<uint32_t>(fk_col)});
+  const std::vector<uint8_t> seen = core::SeenCodes(train_fk, 0);
+  Result<core::SmoothingMap> map =
+      method == core::SmoothingMethod::kRandom
+          ? core::BuildRandomSmoothing(seen, seed + 2)
+          : core::BuildXrSmoothing(seen, star.dimension(0).table);
+  if (!map.ok()) return -1.0;
+  if (!core::ApplySmoothing(p.data, static_cast<size_t>(fk_col),
+                            map.value())
+           .ok()) {
+    return -1.0;
+  }
+
+  SplitViews views = MakeSplitViews(p.data, p.split,
+                                    core::SelectVariant(p.data, variant));
+  ml::DecisionTree tree({.minsplit = 10, .cp = 0.001});
+  if (!tree.Fit(views.train).ok()) return -1.0;
+  return ml::ErrorRate(tree, views.test);
+}
+
+void RunPanel(const char* title, core::SmoothingMethod method) {
+  std::printf("--- %s ---\n", title);
+  std::printf("%-10s %-10s %-10s %-10s\n", "gamma", "JoinAll", "NoJoin",
+              "NoFK");
+  const std::vector<double> gammas =
+      bench::IsFullMode()
+          ? std::vector<double>{0.0, 0.2, 0.4, 0.6, 0.8, 0.95}
+          : std::vector<double>{0.0, 0.4, 0.8};
+  const size_t reps = bench::IsFullMode() ? 10 : 4;
+  for (double gamma : gammas) {
+    std::printf("%-10.2f", gamma);
+    for (auto variant :
+         {core::FeatureVariant::kJoinAll, core::FeatureVariant::kNoJoin,
+          core::FeatureVariant::kNoFK}) {
+      double total = 0.0;
+      for (size_t rep = 0; rep < reps; ++rep) {
+        total += ErrorWithSmoothing(gamma, method, variant, 3000 + 17 * rep);
+      }
+      std::printf(" %-10.4f", total / static_cast<double>(reps));
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Figure 11: FK smoothing in OneXr (dt-gini)");
+  RunPanel("(A) random reassignment", core::SmoothingMethod::kRandom);
+  RunPanel("(B) X_R-based reassignment", core::SmoothingMethod::kXrBased);
+  std::printf(
+      "Expected shape (paper Fig. 11): X_R-based smoothing holds errors\n"
+      "near the Bayes error (0.1) for gamma < 0.5 and degrades slower than\n"
+      "random reassignment as gamma -> 1.\n");
+  return 0;
+}

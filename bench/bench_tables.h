@@ -1,0 +1,74 @@
+// Shared driver for the accuracy tables (paper Tables 2, 3, 5, 6).
+//
+// Runs a list of model kinds over all seven simulated datasets and prints
+// one row per dataset with JoinAll / NoJoin (and NoFK for the tree tables)
+// accuracies. Tables 2/3 report holdout test accuracy; Tables 5/6 report
+// training accuracy for the same fitted models.
+
+#ifndef HAMLET_BENCH_BENCH_TABLES_H_
+#define HAMLET_BENCH_BENCH_TABLES_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "hamlet/synth/realworld.h"
+
+namespace hamlet {
+namespace bench {
+
+struct TableColumn {
+  core::ModelKind kind;
+  core::FeatureVariant variant;
+};
+
+/// Runs `columns` on every simulated dataset; prints `train_accuracy`
+/// (Tables 5/6) or test accuracy (Tables 2/3) with 4 decimals.
+inline void RunAccuracyTable(const std::vector<TableColumn>& columns,
+                             bool report_train_accuracy) {
+  const core::Effort effort = core::EffortFromEnv();
+
+  // Header: model/variant labels.
+  std::printf("%-10s", "Dataset");
+  for (const auto& col : columns) {
+    const std::string label = std::string(core::ModelKindName(col.kind)) +
+                              ":" +
+                              core::FeatureVariantName(col.variant);
+    std::printf(" %-22s", label.c_str());
+  }
+  std::printf("\n");
+
+  for (const auto& spec : synth::AllRealWorldSpecs(DataScale())) {
+    StarSchema star = synth::GenerateRealWorld(spec);
+    Result<core::PreparedData> prepared =
+        core::Prepare(star, spec.seed + 991,
+                      synth::RealWorldJoinOptions(spec));
+    if (!prepared.ok()) {
+      std::printf("%-10s prepare failed: %s\n", spec.name.c_str(),
+                  prepared.status().ToString().c_str());
+      continue;
+    }
+    std::printf("%-10s", spec.name.c_str());
+    std::fflush(stdout);
+    for (const auto& col : columns) {
+      Result<core::VariantResult> r =
+          core::RunVariant(prepared.value(), col.kind, col.variant, effort);
+      if (!r.ok()) {
+        std::printf(" %-22s", "ERR");
+        continue;
+      }
+      const double acc = report_train_accuracy
+                             ? r.value().train_accuracy
+                             : r.value().test_accuracy;
+      std::printf(" %-22.4f", acc);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace bench
+}  // namespace hamlet
+
+#endif  // HAMLET_BENCH_BENCH_TABLES_H_

@@ -1,0 +1,144 @@
+// Shared helpers for the bench binaries: effort handling, table printing,
+// and the Monte-Carlo sweep driver used by the figure benches.
+//
+// Every binary prints the corresponding paper table/figure series. Effort
+// defaults to quick (HAMLET_BENCH_MODE=full for paper-fidelity grids and
+// run counts); quick mode shrinks sizes so the whole bench suite finishes
+// in minutes while preserving the qualitative shapes.
+
+#ifndef HAMLET_BENCH_BENCH_UTIL_H_
+#define HAMLET_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "hamlet/common/stringx.h"
+#include "hamlet/core/experiment.h"
+#include "hamlet/core/variants.h"
+#include "hamlet/data/split.h"
+#include "hamlet/ml/bias_variance.h"
+#include "hamlet/ml/knn/one_nn.h"
+#include "hamlet/ml/metrics.h"
+#include "hamlet/ml/svm/svm.h"
+#include "hamlet/ml/tree/decision_tree.h"
+
+namespace hamlet {
+namespace bench {
+
+inline bool IsFullMode() {
+  return core::EffortFromEnv() == core::Effort::kFull;
+}
+
+/// Monte-Carlo runs per point: the paper uses 100; quick mode uses 12.
+inline size_t NumRuns() { return IsFullMode() ? 100 : 12; }
+
+/// Dataset scale for the real-world simulators (1.0 = ~6000 fact rows).
+inline double DataScale() { return IsFullMode() ? 1.0 : 0.5; }
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("=== %s ===\n", title.c_str());
+  std::printf("mode: %s\n\n", IsFullMode() ? "full" : "quick");
+}
+
+inline void PrintRow(const std::vector<std::string>& cells, size_t width) {
+  for (const auto& cell : cells) {
+    std::printf("%s", PadRight(cell, width).c_str());
+  }
+  std::printf("\n");
+}
+
+/// Which model a figure bench trains inside its Monte-Carlo loop.
+enum class SimModel { kTreeGini, kOneNn, kSvmRbf };
+
+inline const char* SimModelName(SimModel m) {
+  switch (m) {
+    case SimModel::kTreeGini:
+      return "dt-gini";
+    case SimModel::kOneNn:
+      return "1nn";
+    case SimModel::kSvmRbf:
+      return "svm-rbf";
+  }
+  return "?";
+}
+
+/// Average holdout error and net variance of `model` on `variant`, over
+/// NumRuns() freshly generated star schemas. `make_star(run)` samples one
+/// dataset; a small validation grid tunes the tree's cp / the SVM's gamma
+/// per run (quick surrogate of the paper's full grid).
+template <typename MakeStar>
+ml::BiasVariance SimulateVariant(MakeStar&& make_star,
+                                 core::FeatureVariant variant,
+                                 SimModel model, size_t runs) {
+  // Fixed test set from an independent draw: run index 10^6.
+  StarSchema test_star = make_star(1000000);
+  Result<core::PreparedData> test_prep = core::Prepare(test_star, 999);
+  const core::PreparedData& tp = test_prep.value();
+  const std::vector<uint32_t> features =
+      core::SelectVariant(tp.data, variant);
+  // Use all rows of the test draw's test split as the fixed holdout.
+  DataView fixed_test(&tp.data, tp.split.test, features);
+  std::vector<uint8_t> labels(fixed_test.num_rows());
+  for (size_t i = 0; i < labels.size(); ++i) labels[i] = fixed_test.label(i);
+
+  std::vector<std::vector<uint8_t>> preds;
+  preds.reserve(runs);
+  for (size_t r = 0; r < runs; ++r) {
+    StarSchema star = make_star(r);
+    Result<core::PreparedData> prep = core::Prepare(star, 31 * r + 7);
+    const core::PreparedData& p = prep.value();
+    const std::vector<uint32_t> run_features =
+        core::SelectVariant(p.data, variant);
+    DataView train(&p.data, p.split.train, run_features);
+
+    // NOTE: the fixed test set's feature ids must match the run's ids;
+    // generators are deterministic in shape, so column layouts agree.
+    std::vector<uint8_t> run_preds;
+    switch (model) {
+      case SimModel::kTreeGini: {
+        ml::DecisionTree m({.minsplit = 10, .cp = 0.001});
+        (void)m.Fit(train);
+        run_preds = m.PredictAll(fixed_test);
+        break;
+      }
+      case SimModel::kOneNn: {
+        ml::OneNearestNeighbor m;
+        (void)m.Fit(train);
+        run_preds = m.PredictAll(fixed_test);
+        break;
+      }
+      case SimModel::kSvmRbf: {
+        // Gamma must track the feature-set width (the RBF exponent scale
+        // is 2 x #mismatches, which grows with d), so tune it per run on
+        // the run's own validation split, as the paper's grid search does.
+        DataView val(&p.data, p.split.val, run_features);
+        double best_acc = -1.0;
+        for (double gamma : {0.05, 0.2, 1.0}) {
+          ml::SvmConfig cfg;
+          cfg.kernel.type = ml::KernelType::kRbf;
+          cfg.kernel.gamma = gamma;
+          cfg.C = 10.0;
+          cfg.max_train_rows = 1500;
+          ml::KernelSvm m(cfg);
+          (void)m.Fit(train);
+          const double acc = ml::Accuracy(m, val);
+          if (acc > best_acc) {
+            best_acc = acc;
+            run_preds = m.PredictAll(fixed_test);
+          }
+        }
+        break;
+      }
+    }
+    preds.push_back(std::move(run_preds));
+  }
+  Result<ml::BiasVariance> bv =
+      ml::DecomposePredictions(preds, labels, labels);
+  return bv.value();
+}
+
+}  // namespace bench
+}  // namespace hamlet
+
+#endif  // HAMLET_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,100 @@
+// Churn prediction — the paper's running example (§1).
+//
+// Customers(CustomerID, Churn, Gender, Age, Employer) joins
+// Employers(Employer, State, Revenue). The data scientist wants employer
+// features for churn prediction; the advisor tells her whether she can
+// skip procuring the Employers table at all. We build the scenario from
+// CSV snippets to show the ingestion path, then compare all three feature
+// variants across model families.
+//
+// Run: ./example_churn_advisor
+
+#include <cmath>
+#include <cstdio>
+
+#include "hamlet/common/rng.h"
+#include "hamlet/core/advisor.h"
+#include "hamlet/core/experiment.h"
+#include "hamlet/relational/csv.h"
+
+namespace {
+
+using namespace hamlet;
+
+/// Synthesises the Customers/Employers star schema: churn depends on the
+/// employer's state/revenue (foreign features) plus the customer's age
+/// bucket (home feature).
+StarSchema MakeChurnStar(size_t customers, size_t employers,
+                         uint64_t seed) {
+  Rng rng(seed);
+  Table emp(TableSchema({{"state", 5}, {"revenue_bucket", 4}}));
+  std::vector<double> emp_score(employers);
+  for (size_t e = 0; e < employers; ++e) {
+    const uint32_t state = static_cast<uint32_t>(rng.UniformInt(5));
+    const uint32_t revenue = static_cast<uint32_t>(rng.UniformInt(4));
+    emp.AppendRowUnchecked({state, revenue});
+    // "Rich companies in coastal states" (states 0-1) churn less.
+    emp_score[e] = (state <= 1 ? -0.8 : 0.4) + (revenue >= 2 ? -0.6 : 0.5);
+  }
+
+  StarSchema star{Table(TableSchema({{"gender", 2}, {"age_bucket", 6}}))};
+  star.AddDimension("employers", std::move(emp));
+  for (size_t c = 0; c < customers; ++c) {
+    const uint32_t gender = static_cast<uint32_t>(rng.UniformInt(2));
+    const uint32_t age = static_cast<uint32_t>(rng.UniformInt(6));
+    const uint32_t fk = static_cast<uint32_t>(rng.UniformInt(employers));
+    const double score = emp_score[fk] + (age <= 1 ? 0.7 : -0.2);
+    const double p = 1.0 / (1.0 + std::exp(-score));
+    (void)star.AppendFact({gender, age}, {fk}, rng.Bernoulli(p) ? 1 : 0);
+  }
+  return star;
+}
+
+}  // namespace
+
+int main() {
+  using namespace hamlet;
+
+  // Show the CSV ingestion path on a toy Employers snippet.
+  const char* employers_csv =
+      "employer,state,revenue\n"
+      "acme,CA,high\n"
+      "initech,TX,low\n"
+      "globex,NY,high\n";
+  Result<CsvTable> parsed = ReadCsv(employers_csv);
+  std::printf("Parsed employers CSV: %zu rows, %zu columns; "
+              "state domain = %u values\n\n",
+              parsed.value().table.num_rows(),
+              parsed.value().table.num_columns(),
+              parsed.value().table.schema().column(1).domain_size);
+
+  // The full scenario: 4000 customers, 80 employers (tuple ratio 25).
+  StarSchema star = MakeChurnStar(4000, 80, 11);
+
+  std::printf("Tuple ratio (train split): %.1f\n\n",
+              0.5 * star.TupleRatio(0));
+  for (auto family :
+       {core::ModelFamily::kLinear, core::ModelFamily::kRbfSvm,
+        core::ModelFamily::kDecisionTree}) {
+    std::printf("Advice for %s:\n%s\n", core::ModelFamilyName(family),
+                core::FormatAdvice(core::AdviseJoins(star, family)).c_str());
+  }
+
+  // Verify with a decision tree and an RBF-SVM.
+  Result<core::PreparedData> prepared = core::Prepare(star, 13);
+  for (auto kind : {core::ModelKind::kTreeGini, core::ModelKind::kSvmRbf}) {
+    std::printf("%s:\n", core::ModelKindName(kind));
+    for (auto variant :
+         {core::FeatureVariant::kJoinAll, core::FeatureVariant::kNoJoin,
+          core::FeatureVariant::kNoFK}) {
+      Result<core::VariantResult> r = core::RunVariant(
+          prepared.value(), kind, variant, core::Effort::kQuick);
+      std::printf("  %-8s accuracy = %.4f\n", r.value().variant_name.c_str(),
+                  r.value().test_accuracy);
+    }
+  }
+  std::printf(
+      "\nAt tuple ratio 25 every family can avoid the Employers join; the\n"
+      "FK column alone carries the employer signal.\n");
+  return 0;
+}

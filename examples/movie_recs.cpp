@@ -1,0 +1,90 @@
+// Movie-rating prediction with FK smoothing (paper §6.2).
+//
+// A MovieLens-style scenario: ratings joined with users and movies. Some
+// movie FK values never occur among the training rows (γ > 0) but do occur
+// at serving time — popular R tree packages crash on this. We compare the
+// library's three answers: majority-branch routing, random smoothing, and
+// X_R-based smoothing that uses the movies table as side information.
+//
+// Run: ./example_movie_recs
+
+#include <cstdio>
+
+#include "hamlet/core/experiment.h"
+#include "hamlet/core/fk_smoothing.h"
+#include "hamlet/core/variants.h"
+#include "hamlet/ml/metrics.h"
+#include "hamlet/ml/tree/decision_tree.h"
+#include "hamlet/synth/realworld.h"
+
+int main() {
+  using namespace hamlet;
+
+  auto spec = synth::RealWorldSpecByName("Movies", 0.5);
+  StarSchema star = synth::GenerateRealWorld(spec.value());
+  Result<core::PreparedData> prepared = core::Prepare(
+      star, 33, synth::RealWorldJoinOptions(spec.value()));
+  core::PreparedData& p = prepared.value();
+
+  // Induce unseen movie FKs: drop training rows whose movie code is in the
+  // first third of the domain.
+  const int movie_fk = p.data.IndexOf("fk_movies");
+  const uint32_t domain = p.data.feature_spec(movie_fk).domain_size;
+  const uint32_t cutoff = domain / 3;
+  std::vector<uint32_t> kept;
+  for (uint32_t row : p.split.train) {
+    if (p.data.feature(row, movie_fk) >= cutoff) kept.push_back(row);
+  }
+  std::printf("Training rows: %zu -> %zu after withholding %u of %u movie "
+              "codes\n\n",
+              p.split.train.size(), kept.size(), cutoff, domain);
+  p.split.train = std::move(kept);
+
+  const auto nojoin =
+      core::SelectVariant(p.data, core::FeatureVariant::kNoJoin);
+
+  // (a) No smoothing: majority-branch routing inside the tree.
+  {
+    SplitViews views = MakeSplitViews(p.data, p.split, nojoin);
+    ml::DecisionTree tree({.minsplit = 10,
+                           .cp = 0.001,
+                           .unseen_policy =
+                               ml::UnseenPolicy::kMajorityBranch});
+    (void)tree.Fit(views.train);
+    std::printf("majority-branch routing: accuracy=%.4f\n",
+                ml::Accuracy(tree, views.test));
+  }
+
+  // (b) and (c): smooth the FK column, then train normally.
+  DataView train_fk(&p.data, p.split.train,
+                    {static_cast<uint32_t>(movie_fk)});
+  const std::vector<uint8_t> seen = core::SeenCodes(train_fk, 0);
+  struct Method {
+    const char* label;
+    core::SmoothingMethod method;
+  };
+  for (const Method& m : {Method{"random smoothing", //
+                                 core::SmoothingMethod::kRandom},
+                          Method{"X_R-based smoothing",
+                                 core::SmoothingMethod::kXrBased}}) {
+    Result<core::SmoothingMap> map =
+        m.method == core::SmoothingMethod::kRandom
+            ? core::BuildRandomSmoothing(seen, 77)
+            : core::BuildXrSmoothing(
+                  seen, star.dimension(1).table);  // movies = dim 1
+    Dataset smoothed = p.data;
+    (void)core::ApplySmoothing(smoothed, movie_fk, map.value());
+    SplitViews views = MakeSplitViews(smoothed, p.split, nojoin);
+    ml::DecisionTree tree({.minsplit = 10, .cp = 0.001});
+    (void)tree.Fit(views.train);
+    std::printf("%-22s: accuracy=%.4f (reassigned %zu unseen codes)\n",
+                m.label, ml::Accuracy(tree, views.test),
+                map.value().num_unseen);
+  }
+
+  std::printf(
+      "\nX_R-based smoothing uses the movies table only as side\n"
+      "information for code reassignment — the model still never learns\n"
+      "over foreign features (the \"best of both worlds\" of §6.2).\n");
+  return 0;
+}

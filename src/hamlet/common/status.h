@@ -1,0 +1,112 @@
+// Status / Result error-handling primitives (RocksDB-style).
+//
+// Recoverable errors in hamlet are reported through Status rather than
+// exceptions; Result<T> carries either a value or the Status explaining why
+// the value could not be produced.
+
+#ifndef HAMLET_COMMON_STATUS_H_
+#define HAMLET_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace hamlet {
+
+/// Error category for a Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+};
+
+/// Human-readable name for a StatusCode ("OK", "InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Outcome of an operation: OK, or an error code plus message.
+class Status {
+ public:
+  /// Default-constructed Status is OK.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Value-or-error. Construct from a T or from a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Returns the value, or `fallback` when this Result holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+/// Early-return helper: propagates a non-OK Status to the caller.
+#define HAMLET_RETURN_IF_ERROR(expr)          \
+  do {                                        \
+    ::hamlet::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                \
+  } while (0)
+
+}  // namespace hamlet
+
+#endif  // HAMLET_COMMON_STATUS_H_

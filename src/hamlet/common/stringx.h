@@ -1,0 +1,30 @@
+// Small string/formatting helpers shared across the library.
+
+#ifndef HAMLET_COMMON_STRINGX_H_
+#define HAMLET_COMMON_STRINGX_H_
+
+#include <string>
+#include <vector>
+
+namespace hamlet {
+
+/// Joins `parts` with `sep` ("a,b,c").
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        const std::string& sep);
+
+/// Splits `s` on `sep`; keeps empty fields. Splitting "" yields {""}.
+std::vector<std::string> SplitString(const std::string& s, char sep);
+
+/// Strips leading/trailing ASCII whitespace.
+std::string TrimString(const std::string& s);
+
+/// Fixed-precision double formatting ("0.8537" for FormatDouble(0.8537, 4)).
+std::string FormatDouble(double v, int precision);
+
+/// Left-pads/truncates `s` to exactly `width` columns (for table printing).
+std::string PadRight(const std::string& s, size_t width);
+std::string PadLeft(const std::string& s, size_t width);
+
+}  // namespace hamlet
+
+#endif  // HAMLET_COMMON_STRINGX_H_

@@ -1,0 +1,118 @@
+#include "hamlet/core/advisor.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "hamlet/common/stringx.h"
+
+namespace hamlet {
+namespace core {
+
+const char* ModelFamilyName(ModelFamily family) {
+  switch (family) {
+    case ModelFamily::kLinear:
+      return "linear";
+    case ModelFamily::kRbfSvm:
+      return "rbf-svm";
+    case ModelFamily::kDecisionTree:
+      return "decision-tree";
+    case ModelFamily::kAnn:
+      return "ann";
+    case ModelFamily::kOneNn:
+      return "1nn";
+  }
+  return "unknown";
+}
+
+double SafetyThreshold(ModelFamily family) {
+  switch (family) {
+    case ModelFamily::kLinear:
+      return 20.0;  // Kumar et al. (SIGMOD 2016), confirmed in §3.3
+    case ModelFamily::kRbfSvm:
+      return 6.0;   // §3.3: 11 of 14 tables safely discarded at ~6x
+    case ModelFamily::kDecisionTree:
+    case ModelFamily::kAnn:
+      return 3.0;   // §3.3: 13 of 14 tables safely discarded at ~3x
+    case ModelFamily::kOneNn:
+      return 100.0;  // §4.1: deviation starts even at 100x
+  }
+  return 20.0;
+}
+
+const char* JoinAdviceName(JoinAdvice advice) {
+  switch (advice) {
+    case JoinAdvice::kSafeToAvoid:
+      return "safe-to-avoid";
+    case JoinAdvice::kBorderline:
+      return "borderline";
+    case JoinAdvice::kKeepJoin:
+      return "keep-join";
+    case JoinAdvice::kNeverAvoid:
+      return "never-avoid";
+  }
+  return "unknown";
+}
+
+std::vector<DimensionAdvice> AdviseJoins(
+    const StarSchema& star, ModelFamily family, double train_fraction,
+    const std::vector<size_t>& open_domain_fks) {
+  std::vector<DimensionAdvice> out;
+  const double threshold = SafetyThreshold(family);
+  for (size_t i = 0; i < star.num_dimensions(); ++i) {
+    DimensionAdvice advice;
+    advice.dimension_name = star.dimension(i).name;
+    advice.tuple_ratio = train_fraction * star.TupleRatio(i);
+    advice.threshold = threshold;
+
+    const bool open_domain =
+        std::find(open_domain_fks.begin(), open_domain_fks.end(), i) !=
+        open_domain_fks.end();
+    std::ostringstream why;
+    if (open_domain) {
+      advice.advice = JoinAdvice::kNeverAvoid;
+      why << "FK domain is open (future values unseen in training); FK "
+             "cannot be a feature, so the dimension's features must be "
+             "joined in if wanted";
+    } else if (advice.tuple_ratio >= 1.5 * threshold) {
+      advice.advice = JoinAdvice::kSafeToAvoid;
+      why << "tuple ratio " << FormatDouble(advice.tuple_ratio, 1)
+          << " clears the " << ModelFamilyName(family) << " threshold of "
+          << FormatDouble(threshold, 0)
+          << "x with margin; FK can represent the foreign features";
+    } else if (advice.tuple_ratio >= threshold) {
+      advice.advice = JoinAdvice::kBorderline;
+      why << "tuple ratio " << FormatDouble(advice.tuple_ratio, 1)
+          << " is just above the " << ModelFamilyName(family)
+          << " threshold of " << FormatDouble(threshold, 0)
+          << "x; expected safe, but validate on holdout data";
+    } else {
+      advice.advice = JoinAdvice::kKeepJoin;
+      why << "tuple ratio " << FormatDouble(advice.tuple_ratio, 1)
+          << " is below the " << ModelFamilyName(family) << " threshold of "
+          << FormatDouble(threshold, 0)
+          << "x; avoiding this join risks extra overfitting (note: the "
+             "ratio is a conservative indicator — the error may not "
+             "actually rise)";
+    }
+    advice.rationale = why.str();
+    out.push_back(std::move(advice));
+  }
+  return out;
+}
+
+std::string FormatAdvice(const std::vector<DimensionAdvice>& advice) {
+  std::ostringstream out;
+  out << PadRight("dimension", 16) << PadLeft("tuple-ratio", 12)
+      << PadLeft("threshold", 11) << "  " << PadRight("advice", 15)
+      << "rationale\n";
+  for (const auto& a : advice) {
+    out << PadRight(a.dimension_name, 16)
+        << PadLeft(FormatDouble(a.tuple_ratio, 1), 12)
+        << PadLeft(FormatDouble(a.threshold, 0), 11) << "  "
+        << PadRight(JoinAdviceName(a.advice), 15) << a.rationale << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace core
+}  // namespace hamlet

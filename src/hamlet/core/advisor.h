@@ -1,0 +1,68 @@
+// The join-safety advisor: the paper's decision rule as a library.
+//
+// Given only the schema-level tuple ratio n_S / n_R (no dimension-table
+// bytes needed) and the model family, the advisor says whether the join
+// bringing in that dimension's features can be avoided safely. Thresholds
+// come from the paper's findings: ~20x for linear models (Kumar et al.),
+// ~6x for RBF-SVMs, and ~3x for decision trees and ANNs (§3.3); 1-NN is
+// far less stable (~100x, §4.1).
+
+#ifndef HAMLET_CORE_ADVISOR_H_
+#define HAMLET_CORE_ADVISOR_H_
+
+#include <string>
+#include <vector>
+
+#include "hamlet/relational/star_schema.h"
+
+namespace hamlet {
+namespace core {
+
+/// Model families with distinct safety thresholds.
+enum class ModelFamily {
+  kLinear,       ///< Naive Bayes, logistic regression, linear SVM
+  kRbfSvm,
+  kDecisionTree,
+  kAnn,
+  kOneNn,
+};
+
+const char* ModelFamilyName(ModelFamily family);
+
+/// Tuple-ratio threshold above which avoiding the join is predicted safe.
+double SafetyThreshold(ModelFamily family);
+
+/// Advisor verdict for one dimension table.
+enum class JoinAdvice {
+  kSafeToAvoid,    ///< tuple ratio clears the family threshold
+  kBorderline,     ///< within 1.5x of the threshold: measure before trusting
+  kKeepJoin,       ///< below threshold: avoiding risks extra overfitting
+  kNeverAvoid,     ///< FK has an open domain; FK cannot act as a feature
+};
+
+const char* JoinAdviceName(JoinAdvice advice);
+
+/// One row of the advisor report.
+struct DimensionAdvice {
+  std::string dimension_name;
+  double tuple_ratio = 0.0;      ///< against training rows
+  double threshold = 0.0;
+  JoinAdvice advice = JoinAdvice::kKeepJoin;
+  std::string rationale;
+};
+
+/// Computes per-dimension advice from schema-level statistics only.
+/// `train_fraction` scales n_S to the number of training rows (the paper's
+/// Table 1 convention uses 0.5). `open_domain_fks` lists dimensions whose
+/// FK can never be a feature.
+std::vector<DimensionAdvice> AdviseJoins(
+    const StarSchema& star, ModelFamily family, double train_fraction = 0.5,
+    const std::vector<size_t>& open_domain_fks = {});
+
+/// Formats a report table.
+std::string FormatAdvice(const std::vector<DimensionAdvice>& advice);
+
+}  // namespace core
+}  // namespace hamlet
+
+#endif  // HAMLET_CORE_ADVISOR_H_

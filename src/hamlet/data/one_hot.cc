@@ -1,0 +1,26 @@
+#include "hamlet/data/one_hot.h"
+
+#include <cassert>
+
+namespace hamlet {
+
+OneHotMap::OneHotMap(const DataView& view) {
+  offsets_.resize(view.num_features());
+  uint32_t offset = 0;
+  for (size_t j = 0; j < view.num_features(); ++j) {
+    offsets_[j] = offset;
+    offset += view.domain_size(j);
+  }
+  dimension_ = offset;
+}
+
+void OneHotMap::ActiveUnits(const DataView& view, size_t i,
+                            std::vector<uint32_t>& out) const {
+  assert(view.num_features() == offsets_.size());
+  out.resize(offsets_.size());
+  for (size_t j = 0; j < offsets_.size(); ++j) {
+    out[j] = offsets_[j] + view.feature(i, j);
+  }
+}
+
+}  // namespace hamlet

@@ -1,0 +1,50 @@
+// One-hot index mapping for categorical feature vectors.
+//
+// SVM kernels and 1-NN distances never materialise one-hot vectors (the dot
+// product over one-hot encodings equals the number of matching features).
+// The MLP and logistic regression, however, need dense unit indices; this
+// map assigns each (feature j, code c) pair the global one-hot index
+// offset[j] + c.
+
+#ifndef HAMLET_DATA_ONE_HOT_H_
+#define HAMLET_DATA_ONE_HOT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "hamlet/data/view.h"
+
+namespace hamlet {
+
+/// Precomputed offsets for the one-hot embedding of a feature subset.
+class OneHotMap {
+ public:
+  OneHotMap() = default;
+
+  /// Builds the map from a view's feature subset (domain sizes only; does
+  /// not scan rows).
+  explicit OneHotMap(const DataView& view);
+
+  /// Total number of one-hot units.
+  size_t dimension() const { return dimension_; }
+  size_t num_features() const { return offsets_.size(); }
+
+  /// Global unit index of (view-feature j, code c).
+  uint32_t UnitIndex(size_t j, uint32_t code) const {
+    return offsets_[j] + code;
+  }
+
+  /// Fills `out` with the active unit index per feature for view-row i.
+  /// `out` is resized to num_features(); the encoding has exactly one
+  /// active unit per feature.
+  void ActiveUnits(const DataView& view, size_t i,
+                   std::vector<uint32_t>& out) const;
+
+ private:
+  std::vector<uint32_t> offsets_;
+  size_t dimension_ = 0;
+};
+
+}  // namespace hamlet
+
+#endif  // HAMLET_DATA_ONE_HOT_H_

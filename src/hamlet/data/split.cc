@@ -1,0 +1,38 @@
+#include "hamlet/data/split.h"
+
+#include <cassert>
+#include <numeric>
+
+#include "hamlet/common/rng.h"
+
+namespace hamlet {
+
+TrainValTest SplitRows(size_t n, double train_frac, double val_frac,
+                       uint64_t seed) {
+  assert(train_frac >= 0.0 && val_frac >= 0.0 &&
+         train_frac + val_frac <= 1.0);
+  std::vector<uint32_t> ids(n);
+  std::iota(ids.begin(), ids.end(), 0u);
+  Rng rng(seed);
+  rng.Shuffle(ids);
+
+  const size_t n_train = static_cast<size_t>(train_frac * n);
+  const size_t n_val = static_cast<size_t>(val_frac * n);
+
+  TrainValTest out;
+  out.train.assign(ids.begin(), ids.begin() + n_train);
+  out.val.assign(ids.begin() + n_train, ids.begin() + n_train + n_val);
+  out.test.assign(ids.begin() + n_train + n_val, ids.end());
+  return out;
+}
+
+SplitViews MakeSplitViews(const Dataset& data, const TrainValTest& split,
+                          const std::vector<uint32_t>& feature_ids) {
+  return SplitViews{
+      DataView(&data, split.train, feature_ids),
+      DataView(&data, split.val, feature_ids),
+      DataView(&data, split.test, feature_ids),
+  };
+}
+
+}  // namespace hamlet

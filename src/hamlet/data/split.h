@@ -1,0 +1,47 @@
+// Train/validation/test splitting.
+//
+// The paper pre-splits every dataset 50%:25%:25% for training, validation
+// (feature selection + hyper-parameter tuning) and holdout testing (§3.2).
+
+#ifndef HAMLET_DATA_SPLIT_H_
+#define HAMLET_DATA_SPLIT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "hamlet/data/view.h"
+
+namespace hamlet {
+
+/// Row-id partition of a dataset.
+struct TrainValTest {
+  std::vector<uint32_t> train;
+  std::vector<uint32_t> val;
+  std::vector<uint32_t> test;
+};
+
+/// Randomly partitions [0, n) with the given fractions (test gets the
+/// remainder). Deterministic in `seed`.
+TrainValTest SplitRows(size_t n, double train_frac, double val_frac,
+                       uint64_t seed);
+
+/// The paper's 50/25/25 split.
+inline TrainValTest SplitPaper(size_t n, uint64_t seed) {
+  return SplitRows(n, 0.5, 0.25, seed);
+}
+
+/// Bundles the three views over one dataset and feature subset.
+struct SplitViews {
+  DataView train;
+  DataView val;
+  DataView test;
+};
+
+/// Builds the three DataViews for `split` over `data` restricted to
+/// `feature_ids`.
+SplitViews MakeSplitViews(const Dataset& data, const TrainValTest& split,
+                          const std::vector<uint32_t>& feature_ids);
+
+}  // namespace hamlet
+
+#endif  // HAMLET_DATA_SPLIT_H_

@@ -1,0 +1,57 @@
+#include "hamlet/data/view.h"
+
+#include <cassert>
+#include <numeric>
+
+namespace hamlet {
+
+DataView::DataView(const Dataset* data) : data_(data) {
+  rows_.resize(data->num_rows());
+  std::iota(rows_.begin(), rows_.end(), 0u);
+  features_.resize(data->num_features());
+  std::iota(features_.begin(), features_.end(), 0u);
+}
+
+DataView::DataView(const Dataset* data, std::vector<uint32_t> rows,
+                   std::vector<uint32_t> features)
+    : data_(data), rows_(std::move(rows)), features_(std::move(features)) {
+#ifndef NDEBUG
+  for (uint32_t r : rows_) assert(r < data_->num_rows());
+  for (uint32_t f : features_) assert(f < data_->num_features());
+#endif
+}
+
+DataView DataView::SelectRows(const std::vector<uint32_t>& view_rows) const {
+  std::vector<uint32_t> rows;
+  rows.reserve(view_rows.size());
+  for (uint32_t i : view_rows) {
+    assert(i < rows_.size());
+    rows.push_back(rows_[i]);
+  }
+  return DataView(data_, std::move(rows), features_);
+}
+
+DataView DataView::WithFeatures(std::vector<uint32_t> feature_ids) const {
+  return DataView(data_, rows_, std::move(feature_ids));
+}
+
+std::vector<uint32_t> DataView::RowCodes(size_t i) const {
+  std::vector<uint32_t> out(features_.size());
+  for (size_t j = 0; j < features_.size(); ++j) out[j] = feature(i, j);
+  return out;
+}
+
+size_t DataView::OneHotDimension() const {
+  size_t d = 0;
+  for (size_t j = 0; j < features_.size(); ++j) d += domain_size(j);
+  return d;
+}
+
+double DataView::PositiveRate() const {
+  if (rows_.empty()) return 0.0;
+  size_t pos = 0;
+  for (size_t i = 0; i < rows_.size(); ++i) pos += label(i);
+  return static_cast<double>(pos) / static_cast<double>(rows_.size());
+}
+
+}  // namespace hamlet

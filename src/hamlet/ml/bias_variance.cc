@@ -1,0 +1,80 @@
+#include "hamlet/ml/bias_variance.h"
+
+namespace hamlet {
+namespace ml {
+
+Result<BiasVariance> DecomposePredictions(
+    const std::vector<std::vector<uint8_t>>& run_predictions,
+    const std::vector<uint8_t>& test_labels,
+    const std::vector<uint8_t>& optimal) {
+  if (run_predictions.empty()) {
+    return Status::InvalidArgument("need at least one run");
+  }
+  const size_t n = test_labels.size();
+  if (optimal.size() != n) {
+    return Status::InvalidArgument("optimal/label size mismatch");
+  }
+  for (const auto& preds : run_predictions) {
+    if (preds.size() != n) {
+      return Status::InvalidArgument("prediction vector size mismatch");
+    }
+  }
+
+  const size_t runs = run_predictions.size();
+  BiasVariance out;
+  out.num_runs = runs;
+
+  // Mean error across runs.
+  double err_sum = 0.0;
+  for (const auto& preds : run_predictions) {
+    size_t wrong = 0;
+    for (size_t i = 0; i < n; ++i) wrong += preds[i] != test_labels[i];
+    err_sum += static_cast<double>(wrong) / static_cast<double>(n);
+  }
+  out.mean_error = err_sum / static_cast<double>(runs);
+
+  // Pointwise decomposition.
+  size_t biased_points = 0;
+  double var_sum = 0.0, var_unbiased_sum = 0.0, var_biased_sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    size_t ones = 0;
+    for (const auto& preds : run_predictions) ones += preds[i];
+    const uint8_t main_pred = (2 * ones >= runs) ? 1 : 0;  // ties -> 1
+    size_t disagree = 0;
+    for (const auto& preds : run_predictions) {
+      disagree += preds[i] != main_pred;
+    }
+    const double var_i =
+        static_cast<double>(disagree) / static_cast<double>(runs);
+    var_sum += var_i;
+    if (main_pred != optimal[i]) {
+      ++biased_points;
+      var_biased_sum += var_i;
+    } else {
+      var_unbiased_sum += var_i;
+    }
+  }
+  out.bias = static_cast<double>(biased_points) / static_cast<double>(n);
+  out.variance = var_sum / static_cast<double>(n);
+  out.variance_unbiased = var_unbiased_sum / static_cast<double>(n);
+  out.variance_biased = var_biased_sum / static_cast<double>(n);
+  out.net_variance = out.variance_unbiased - out.variance_biased;
+  return out;
+}
+
+Result<BiasVariance> MonteCarloBiasVariance(
+    size_t num_runs,
+    const std::function<std::vector<uint8_t>(size_t run)>& run,
+    const std::vector<uint8_t>& test_labels,
+    const std::vector<uint8_t>& optimal) {
+  if (num_runs == 0) return Status::InvalidArgument("num_runs must be > 0");
+  std::vector<std::vector<uint8_t>> preds;
+  preds.reserve(num_runs);
+  for (size_t r = 0; r < num_runs; ++r) {
+    preds.push_back(run(r));
+  }
+  return DecomposePredictions(preds, test_labels, optimal);
+}
+
+}  // namespace ml
+}  // namespace hamlet

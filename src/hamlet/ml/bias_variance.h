@@ -1,0 +1,57 @@
+// Domingos (2000) bias-variance decomposition for 0/1 loss.
+//
+// The paper's simulation study reports "average test error and average net
+// variance (as defined in [9])" over 100 training sets drawn from the same
+// true distribution. For 0/1 loss:
+//   main prediction  ym(x) = majority vote of the runs' predictions at x
+//   bias(x)          = 1 if ym(x) != y*(x) else 0
+//   variance(x)      = fraction of runs disagreeing with ym(x)
+//   net variance     = E_x[variance | unbiased] - E_x[variance | biased]
+// where y*(x) is the optimal (Bayes) prediction; callers that do not know
+// it may pass the observed test labels as a proxy.
+
+#ifndef HAMLET_ML_BIAS_VARIANCE_H_
+#define HAMLET_ML_BIAS_VARIANCE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "hamlet/common/status.h"
+
+namespace hamlet {
+namespace ml {
+
+/// Decomposition outputs, all averaged over the test points.
+struct BiasVariance {
+  double mean_error = 0.0;     ///< avg over runs of test error vs labels
+  double bias = 0.0;           ///< E_x[ main prediction != y* ]
+  double variance = 0.0;       ///< E_x[ P_runs(pred != main) ]
+  double variance_unbiased = 0.0;
+  double variance_biased = 0.0;
+  double net_variance = 0.0;   ///< variance_unbiased - variance_biased
+  size_t num_runs = 0;
+};
+
+/// Decomposes fixed per-run predictions. `run_predictions[r][i]` is run r's
+/// prediction at test point i; `test_labels` are the observed labels used
+/// for mean_error; `optimal` is y* (pass `test_labels` again when the Bayes
+/// prediction is unknown). Majority-vote ties break toward label 1.
+Result<BiasVariance> DecomposePredictions(
+    const std::vector<std::vector<uint8_t>>& run_predictions,
+    const std::vector<uint8_t>& test_labels,
+    const std::vector<uint8_t>& optimal);
+
+/// Monte-Carlo driver: calls `run(r)` for r in [0, num_runs); each call
+/// trains a fresh model on a freshly sampled training set and returns its
+/// predictions on a fixed test set.
+Result<BiasVariance> MonteCarloBiasVariance(
+    size_t num_runs,
+    const std::function<std::vector<uint8_t>(size_t run)>& run,
+    const std::vector<uint8_t>& test_labels,
+    const std::vector<uint8_t>& optimal);
+
+}  // namespace ml
+}  // namespace hamlet
+
+#endif  // HAMLET_ML_BIAS_VARIANCE_H_

@@ -1,0 +1,48 @@
+// Common interface for all classifiers in hamlet.
+//
+// All models consume DataViews of categorical codes. A model trained on a
+// view with feature subset F must be evaluated on views with the *same*
+// feature subset (same underlying column ids, same order); this is how the
+// JoinAll / NoJoin / NoFK variants stay comparable.
+
+#ifndef HAMLET_ML_CLASSIFIER_H_
+#define HAMLET_ML_CLASSIFIER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hamlet/common/status.h"
+#include "hamlet/data/view.h"
+
+namespace hamlet {
+namespace ml {
+
+/// Abstract binary classifier over categorical feature vectors.
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  /// Trains on `train`. Must be called before Predict.
+  virtual Status Fit(const DataView& train) = 0;
+
+  /// Predicts the label of row `i` of `view`. `view` must select the same
+  /// feature columns as the training view.
+  virtual uint8_t Predict(const DataView& view, size_t i) const = 0;
+
+  /// Short human-readable model name ("dt-gini", "svm-rbf", ...).
+  virtual std::string name() const = 0;
+
+  /// Predicts every row of `view`.
+  std::vector<uint8_t> PredictAll(const DataView& view) const {
+    std::vector<uint8_t> out(view.num_rows());
+    for (size_t i = 0; i < view.num_rows(); ++i) out[i] = Predict(view, i);
+    return out;
+  }
+};
+
+}  // namespace ml
+}  // namespace hamlet
+
+#endif  // HAMLET_ML_CLASSIFIER_H_

@@ -1,0 +1,65 @@
+#include "hamlet/ml/grid_search.h"
+
+#include "hamlet/ml/metrics.h"
+
+namespace hamlet {
+namespace ml {
+
+ParamGrid& ParamGrid::Add(std::string name, std::vector<double> values) {
+  axes_.emplace_back(std::move(name), std::move(values));
+  return *this;
+}
+
+std::vector<ParamMap> ParamGrid::Enumerate() const {
+  std::vector<ParamMap> out;
+  out.emplace_back();  // start from the empty assignment
+  for (const auto& [name, values] : axes_) {
+    std::vector<ParamMap> next;
+    next.reserve(out.size() * values.size());
+    for (const auto& partial : out) {
+      for (double v : values) {
+        ParamMap m = partial;
+        m[name] = v;
+        next.push_back(std::move(m));
+      }
+    }
+    out = std::move(next);
+  }
+  return out;
+}
+
+Result<GridSearchResult> GridSearch(const ModelFactory& factory,
+                                    const ParamGrid& grid,
+                                    const DataView& train,
+                                    const DataView& val) {
+  if (train.num_rows() == 0) {
+    return Status::InvalidArgument("empty training view");
+  }
+  GridSearchResult result;
+  result.best_val_accuracy = -1.0;
+  for (const ParamMap& params : grid.Enumerate()) {
+    std::unique_ptr<Classifier> model = factory(params);
+    if (model == nullptr) {
+      return Status::Internal("model factory returned null");
+    }
+    HAMLET_RETURN_IF_ERROR(model->Fit(train));
+    const double val_acc =
+        val.num_rows() > 0 ? Accuracy(*model, val) : 0.0;
+    ++result.configurations_tried;
+    if (val_acc > result.best_val_accuracy) {
+      result.best_val_accuracy = val_acc;
+      result.best_params = params;
+      result.best_model = std::move(model);
+    }
+  }
+  return result;
+}
+
+double ParamOr(const ParamMap& params, const std::string& key,
+               double fallback) {
+  auto it = params.find(key);
+  return it == params.end() ? fallback : it->second;
+}
+
+}  // namespace ml
+}  // namespace hamlet

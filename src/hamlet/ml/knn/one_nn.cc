@@ -1,0 +1,55 @@
+#include "hamlet/ml/knn/one_nn.h"
+
+#include <cassert>
+
+namespace hamlet {
+namespace ml {
+
+Status OneNearestNeighbor::Fit(const DataView& train) {
+  if (train.num_rows() == 0) {
+    return Status::InvalidArgument("empty training view");
+  }
+  d_ = train.num_features();
+  const size_t n = train.num_rows();
+  rows_.resize(n * d_);
+  labels_.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < d_; ++j) rows_[i * d_ + j] = train.feature(i, j);
+    labels_[i] = train.label(i);
+  }
+  return Status::OK();
+}
+
+size_t OneNearestNeighbor::NearestIndex(const DataView& view,
+                                        size_t i) const {
+  assert(!labels_.empty() && view.num_features() == d_);
+  // Materialise the query once; the inner loop then runs on contiguous
+  // arrays with an early exit once the running distance exceeds the best.
+  std::vector<uint32_t> query(d_);
+  for (size_t j = 0; j < d_; ++j) query[j] = view.feature(i, j);
+
+  size_t best = 0;
+  size_t best_dist = d_ + 1;
+  const size_t n = labels_.size();
+  for (size_t r = 0; r < n; ++r) {
+    const uint32_t* row = &rows_[r * d_];
+    size_t dist = 0;
+    for (size_t j = 0; j < d_; ++j) {
+      dist += row[j] != query[j];
+      if (dist >= best_dist) break;
+    }
+    if (dist < best_dist) {
+      best_dist = dist;
+      best = r;
+      if (dist == 0) break;
+    }
+  }
+  return best;
+}
+
+uint8_t OneNearestNeighbor::Predict(const DataView& view, size_t i) const {
+  return labels_[NearestIndex(view, i)];
+}
+
+}  // namespace ml
+}  // namespace hamlet

@@ -1,0 +1,44 @@
+// 1-nearest-neighbour classifier over categorical features.
+//
+// The paper's "braindead" baseline (§3, §5): with one-hot encoding the
+// squared Euclidean distance between two rows is 2 × (#mismatching
+// features), so 1-NN reduces to Hamming distance over the code vectors.
+// Ties break toward the earliest training row, keeping results
+// deterministic. No hyper-parameters (as in RWeka's IB1).
+
+#ifndef HAMLET_ML_KNN_ONE_NN_H_
+#define HAMLET_ML_KNN_ONE_NN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hamlet/ml/classifier.h"
+
+namespace hamlet {
+namespace ml {
+
+/// Brute-force 1-NN with early-exit Hamming distance.
+class OneNearestNeighbor : public Classifier {
+ public:
+  OneNearestNeighbor() = default;
+
+  Status Fit(const DataView& train) override;
+  uint8_t Predict(const DataView& view, size_t i) const override;
+  std::string name() const override { return "1nn"; }
+
+  /// Index (into the training view's rows) of the nearest neighbour of
+  /// row i of `view`; exposed for the §5 analysis of FK-driven matching.
+  size_t NearestIndex(const DataView& view, size_t i) const;
+
+ private:
+  // Training data is copied row-major for scan locality.
+  std::vector<uint32_t> rows_;   // n * d codes
+  std::vector<uint8_t> labels_;
+  size_t d_ = 0;
+};
+
+}  // namespace ml
+}  // namespace hamlet
+
+#endif  // HAMLET_ML_KNN_ONE_NN_H_

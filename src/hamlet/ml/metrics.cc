@@ -1,0 +1,68 @@
+#include "hamlet/ml/metrics.h"
+
+#include <cassert>
+
+namespace hamlet {
+namespace ml {
+
+double ConfusionMatrix::accuracy() const {
+  const size_t n = total();
+  if (n == 0) return 0.0;
+  return static_cast<double>(tp + tn) / static_cast<double>(n);
+}
+
+double ConfusionMatrix::precision() const {
+  const size_t denom = tp + fp;
+  return denom == 0 ? 0.0 : static_cast<double>(tp) / denom;
+}
+
+double ConfusionMatrix::recall() const {
+  const size_t denom = tp + fn;
+  return denom == 0 ? 0.0 : static_cast<double>(tp) / denom;
+}
+
+double ConfusionMatrix::f1() const {
+  const double p = precision();
+  const double r = recall();
+  return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+ConfusionMatrix Evaluate(const Classifier& model, const DataView& view) {
+  ConfusionMatrix cm;
+  for (size_t i = 0; i < view.num_rows(); ++i) {
+    const uint8_t pred = model.Predict(view, i);
+    const uint8_t truth = view.label(i);
+    if (pred == 1 && truth == 1) {
+      ++cm.tp;
+    } else if (pred == 0 && truth == 0) {
+      ++cm.tn;
+    } else if (pred == 1) {
+      ++cm.fp;
+    } else {
+      ++cm.fn;
+    }
+  }
+  return cm;
+}
+
+double Accuracy(const Classifier& model, const DataView& view) {
+  return Evaluate(model, view).accuracy();
+}
+
+double ErrorRate(const Classifier& model, const DataView& view) {
+  return 1.0 - Accuracy(model, view);
+}
+
+double PredictionAccuracy(const std::vector<uint8_t>& predictions,
+                          const std::vector<uint8_t>& labels) {
+  assert(predictions.size() == labels.size());
+  if (predictions.empty()) return 0.0;
+  size_t hits = 0;
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    hits += predictions[i] == labels[i];
+  }
+  return static_cast<double>(hits) / static_cast<double>(predictions.size());
+}
+
+}  // namespace ml
+}  // namespace hamlet

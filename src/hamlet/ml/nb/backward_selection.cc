@@ -1,0 +1,95 @@
+#include "hamlet/ml/nb/backward_selection.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "hamlet/ml/metrics.h"
+
+namespace hamlet {
+namespace ml {
+
+BackwardSelectionClassifier::BackwardSelectionClassifier(
+    BaseModelFactory factory, DataView val)
+    : factory_(std::move(factory)), val_(std::move(val)) {}
+
+std::string BackwardSelectionClassifier::name() const {
+  return "backward-selection";
+}
+
+Status BackwardSelectionClassifier::Fit(const DataView& train) {
+  if (train.num_rows() == 0) {
+    return Status::InvalidArgument("empty training view");
+  }
+  const size_t d = train.num_features();
+
+  // Helper: fit + validate the base model on a view-feature subset.
+  auto evaluate = [&](const std::vector<uint32_t>& subset,
+                      std::unique_ptr<Classifier>& out_model,
+                      double& out_acc) -> Status {
+    std::vector<uint32_t> train_cols, val_cols;
+    train_cols.reserve(subset.size());
+    val_cols.reserve(subset.size());
+    for (uint32_t j : subset) {
+      train_cols.push_back(train.feature_id(j));
+      val_cols.push_back(val_.feature_id(j));
+    }
+    DataView sub_train = train.WithFeatures(train_cols);
+    DataView sub_val = val_.WithFeatures(val_cols);
+    out_model = factory_();
+    HAMLET_RETURN_IF_ERROR(out_model->Fit(sub_train));
+    out_acc = Accuracy(*out_model, sub_val);
+    return Status::OK();
+  };
+
+  std::vector<uint32_t> current(d);
+  std::iota(current.begin(), current.end(), 0u);
+  std::unique_ptr<Classifier> best_model;
+  double best_acc = 0.0;
+  HAMLET_RETURN_IF_ERROR(evaluate(current, best_model, best_acc));
+
+  // Greedy eliminations; keep at least one feature.
+  bool improved = true;
+  while (improved && current.size() > 1) {
+    improved = false;
+    size_t drop_pos = current.size();
+    std::unique_ptr<Classifier> round_model;
+    double round_acc = best_acc;
+    for (size_t k = 0; k < current.size(); ++k) {
+      std::vector<uint32_t> candidate = current;
+      candidate.erase(candidate.begin() + static_cast<long>(k));
+      std::unique_ptr<Classifier> model;
+      double acc = 0.0;
+      HAMLET_RETURN_IF_ERROR(evaluate(candidate, model, acc));
+      if (acc > round_acc) {
+        round_acc = acc;
+        round_model = std::move(model);
+        drop_pos = k;
+      }
+    }
+    if (drop_pos < current.size()) {
+      current.erase(current.begin() + static_cast<long>(drop_pos));
+      best_model = std::move(round_model);
+      best_acc = round_acc;
+      improved = true;
+    }
+  }
+
+  selected_ = std::move(current);
+  model_ = std::move(best_model);
+  val_accuracy_ = best_acc;
+  return Status::OK();
+}
+
+uint8_t BackwardSelectionClassifier::Predict(const DataView& view,
+                                             size_t i) const {
+  // Project the prediction view onto the selected subset. View-feature
+  // order must match the training view's (the standard contract).
+  std::vector<uint32_t> cols;
+  cols.reserve(selected_.size());
+  for (uint32_t j : selected_) cols.push_back(view.feature_id(j));
+  DataView sub(view.dataset(), {view.row_id(i)}, std::move(cols));
+  return model_->Predict(sub, 0);
+}
+
+}  // namespace ml
+}  // namespace hamlet

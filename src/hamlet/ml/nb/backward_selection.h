@@ -1,0 +1,54 @@
+// Greedy backward feature selection wrapper (the paper's "Naive Bayes with
+// backward selection", §3).
+//
+// Starting from all features, repeatedly drops the single feature whose
+// removal most improves validation accuracy; stops when no removal helps.
+// Works for any base classifier factory, though the study applies it to
+// Naive Bayes only.
+
+#ifndef HAMLET_ML_NB_BACKWARD_SELECTION_H_
+#define HAMLET_ML_NB_BACKWARD_SELECTION_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hamlet/ml/classifier.h"
+
+namespace hamlet {
+namespace ml {
+
+/// Builds a fresh, unfitted base model.
+using BaseModelFactory = std::function<std::unique_ptr<Classifier>()>;
+
+/// Wrapper model: selects a feature subset on (train, val) during Fit, then
+/// behaves as the base model restricted to that subset.
+class BackwardSelectionClassifier : public Classifier {
+ public:
+  /// `val` must view the same dataset columns as the training view passed
+  /// to Fit (it supplies the selection signal).
+  BackwardSelectionClassifier(BaseModelFactory factory, DataView val);
+
+  Status Fit(const DataView& train) override;
+  uint8_t Predict(const DataView& view, size_t i) const override;
+  std::string name() const override;
+
+  /// Selected *view-feature* indices (into the training view's features).
+  const std::vector<uint32_t>& selected_features() const {
+    return selected_;
+  }
+  double validation_accuracy() const { return val_accuracy_; }
+
+ private:
+  BaseModelFactory factory_;
+  DataView val_;
+  std::vector<uint32_t> selected_;
+  std::unique_ptr<Classifier> model_;
+  double val_accuracy_ = 0.0;
+};
+
+}  // namespace ml
+}  // namespace hamlet
+
+#endif  // HAMLET_ML_NB_BACKWARD_SELECTION_H_

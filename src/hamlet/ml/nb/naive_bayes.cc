@@ -1,0 +1,68 @@
+#include "hamlet/ml/nb/naive_bayes.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace hamlet {
+namespace ml {
+
+NaiveBayes::NaiveBayes(NaiveBayesConfig config) : config_(config) {}
+
+Status NaiveBayes::Fit(const DataView& train) {
+  const size_t n = train.num_rows();
+  if (n == 0) return Status::InvalidArgument("empty training view");
+  d_ = train.num_features();
+
+  size_t pos = 0;
+  for (size_t i = 0; i < n; ++i) pos += train.label(i);
+  const size_t neg = n - pos;
+  // Priors with the same pseudocount to stay defined for one-class data.
+  const double a = config_.pseudocount;
+  log_prior_[1] = std::log((static_cast<double>(pos) + a) /
+                           (static_cast<double>(n) + 2.0 * a));
+  log_prior_[0] = std::log((static_cast<double>(neg) + a) /
+                           (static_cast<double>(n) + 2.0 * a));
+
+  log_likelihood_.assign(d_, {});
+  for (size_t j = 0; j < d_; ++j) {
+    const uint32_t domain = train.domain_size(j);
+    std::vector<double> counts(static_cast<size_t>(domain) * 2, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      const uint32_t c = train.feature(i, j);
+      counts[static_cast<size_t>(c) * 2 + train.label(i)] += 1.0;
+    }
+    const double denom_pos =
+        static_cast<double>(pos) + a * static_cast<double>(domain);
+    const double denom_neg =
+        static_cast<double>(neg) + a * static_cast<double>(domain);
+    std::vector<double>& ll = log_likelihood_[j];
+    ll.resize(counts.size());
+    for (uint32_t c = 0; c < domain; ++c) {
+      ll[static_cast<size_t>(c) * 2 + 1] =
+          std::log((counts[static_cast<size_t>(c) * 2 + 1] + a) / denom_pos);
+      ll[static_cast<size_t>(c) * 2 + 0] =
+          std::log((counts[static_cast<size_t>(c) * 2 + 0] + a) / denom_neg);
+    }
+  }
+  return Status::OK();
+}
+
+double NaiveBayes::LogOdds(const DataView& view, size_t i) const {
+  assert(view.num_features() == d_);
+  double odds = log_prior_[1] - log_prior_[0];
+  for (size_t j = 0; j < d_; ++j) {
+    const uint32_t c = view.feature(i, j);
+    const std::vector<double>& ll = log_likelihood_[j];
+    const size_t base = static_cast<size_t>(c) * 2;
+    assert(base + 1 < ll.size());
+    odds += ll[base + 1] - ll[base];
+  }
+  return odds;
+}
+
+uint8_t NaiveBayes::Predict(const DataView& view, size_t i) const {
+  return LogOdds(view, i) >= 0.0 ? 1 : 0;
+}
+
+}  // namespace ml
+}  // namespace hamlet

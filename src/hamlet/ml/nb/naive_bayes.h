@@ -1,0 +1,49 @@
+// Categorical Naive Bayes with Laplace smoothing.
+//
+// One of the paper's linear-capacity baselines (§3). Class-conditional
+// probabilities per (feature, code) pair are estimated with add-one
+// smoothing (§6.2 references the same smoothing idea for counts), so FK
+// values unseen in training still get a nonzero likelihood.
+
+#ifndef HAMLET_ML_NB_NAIVE_BAYES_H_
+#define HAMLET_ML_NB_NAIVE_BAYES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hamlet/ml/classifier.h"
+
+namespace hamlet {
+namespace ml {
+
+/// Hyper-parameters (Naive Bayes has none to tune in the paper; the
+/// pseudocount is exposed for the smoothing tests).
+struct NaiveBayesConfig {
+  double pseudocount = 1.0;
+};
+
+/// Multinomial NB over categorical codes.
+class NaiveBayes : public Classifier {
+ public:
+  explicit NaiveBayes(NaiveBayesConfig config = {});
+
+  Status Fit(const DataView& train) override;
+  uint8_t Predict(const DataView& view, size_t i) const override;
+  std::string name() const override { return "naive-bayes"; }
+
+  /// Log P(y=1|x) - log P(y=0|x) for row i of `view`.
+  double LogOdds(const DataView& view, size_t i) const;
+
+ private:
+  NaiveBayesConfig config_;
+  size_t d_ = 0;
+  double log_prior_[2] = {0.0, 0.0};
+  // log_likelihood_[j][code][y]; flattened per feature as code*2 + y.
+  std::vector<std::vector<double>> log_likelihood_;
+};
+
+}  // namespace ml
+}  // namespace hamlet
+
+#endif  // HAMLET_ML_NB_NAIVE_BAYES_H_

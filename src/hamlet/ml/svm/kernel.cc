@@ -1,0 +1,65 @@
+#include "hamlet/ml/svm/kernel.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace hamlet {
+namespace ml {
+
+const char* KernelTypeName(KernelType type) {
+  switch (type) {
+    case KernelType::kLinear:
+      return "linear";
+    case KernelType::kPoly:
+      return "poly";
+    case KernelType::kRbf:
+      return "rbf";
+  }
+  return "unknown";
+}
+
+size_t MatchCount(const uint32_t* a, const uint32_t* b, size_t d) {
+  size_t matches = 0;
+  for (size_t j = 0; j < d; ++j) matches += a[j] == b[j];
+  return matches;
+}
+
+double KernelEval(const KernelConfig& config, const uint32_t* a,
+                  const uint32_t* b, size_t d) {
+  const size_t matches = MatchCount(a, b, d);
+  switch (config.type) {
+    case KernelType::kLinear:
+      return static_cast<double>(matches) / static_cast<double>(d);
+    case KernelType::kPoly: {
+      const double base = config.gamma * static_cast<double>(matches);
+      double out = 1.0;
+      for (int k = 0; k < config.degree; ++k) out *= base;
+      return out;
+    }
+    case KernelType::kRbf: {
+      const double sq_dist = 2.0 * static_cast<double>(d - matches);
+      return std::exp(-config.gamma * sq_dist);
+    }
+  }
+  return 0.0;
+}
+
+std::vector<float> ComputeGram(const KernelConfig& config,
+                               const std::vector<uint32_t>& rows, size_t n,
+                               size_t d) {
+  assert(rows.size() == n * d);
+  std::vector<float> gram(n * n);
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t* ri = &rows[i * d];
+    for (size_t j = i; j < n; ++j) {
+      const float v = static_cast<float>(
+          KernelEval(config, ri, &rows[j * d], d));
+      gram[i * n + j] = v;
+      gram[j * n + i] = v;
+    }
+  }
+  return gram;
+}
+
+}  // namespace ml
+}  // namespace hamlet

@@ -1,0 +1,45 @@
+// Sequential Minimal Optimization solver for the C-SVC dual.
+//
+// Solves   min_a  1/2 sum_ij a_i a_j y_i y_j K_ij - sum_i a_i
+//          s.t.   0 <= a_i <= C,  sum_i a_i y_i = 0
+// using Platt-style pairwise updates with a full error cache and
+// maximal-violating-pair working-set selection. The Gram matrix is
+// precomputed (training sizes in this study stay in the low thousands).
+
+#ifndef HAMLET_ML_SVM_SMO_H_
+#define HAMLET_ML_SVM_SMO_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "hamlet/common/status.h"
+
+namespace hamlet {
+namespace ml {
+
+/// Solver parameters.
+struct SmoConfig {
+  double C = 1.0;
+  double tolerance = 1e-3;      ///< KKT violation tolerance
+  size_t max_iterations = 20000;  ///< pairwise-update budget
+};
+
+/// Solver output: dual coefficients and intercept.
+struct SmoSolution {
+  std::vector<double> alpha;
+  double bias = 0.0;
+  size_t iterations = 0;
+  bool converged = false;
+  size_t num_support_vectors = 0;
+};
+
+/// Runs SMO. `gram` is the n x n kernel matrix (row-major float),
+/// `y` holds labels in {-1, +1}.
+Result<SmoSolution> SolveSmo(const std::vector<float>& gram,
+                             const std::vector<int8_t>& y,
+                             const SmoConfig& config);
+
+}  // namespace ml
+}  // namespace hamlet
+
+#endif  // HAMLET_ML_SVM_SMO_H_

@@ -1,0 +1,87 @@
+#include "hamlet/ml/svm/svm.h"
+
+#include <cassert>
+
+namespace hamlet {
+namespace ml {
+
+KernelSvm::KernelSvm(SvmConfig config) : config_(config) {}
+
+std::string KernelSvm::name() const {
+  return std::string("svm-") + KernelTypeName(config_.kernel.type);
+}
+
+Status KernelSvm::Fit(const DataView& train) {
+  if (train.num_rows() == 0) {
+    return Status::InvalidArgument("empty training view");
+  }
+  d_ = train.num_features();
+  size_t n = train.num_rows();
+  if (config_.max_train_rows > 0 && n > config_.max_train_rows) {
+    n = config_.max_train_rows;
+  }
+
+  // Copy training rows row-major (prefix subsample when capped; the view's
+  // row order is already a shuffle of the original data).
+  std::vector<uint32_t> rows(n * d_);
+  std::vector<int8_t> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < d_; ++j) rows[i * d_ + j] = train.feature(i, j);
+    y[i] = train.label(i) == 1 ? 1 : -1;
+  }
+
+  bool has_pos = false, has_neg = false;
+  for (int8_t v : y) (v == 1 ? has_pos : has_neg) = true;
+  if (!has_pos || !has_neg) {
+    is_constant_ = true;
+    constant_prediction_ = has_pos ? 1 : 0;
+    converged_ = true;
+    sv_rows_.clear();
+    sv_coeff_.clear();
+    return Status::OK();
+  }
+  is_constant_ = false;
+
+  const std::vector<float> gram = ComputeGram(config_.kernel, rows, n, d_);
+  SmoConfig smo_cfg;
+  smo_cfg.C = config_.C;
+  smo_cfg.tolerance = config_.tolerance;
+  smo_cfg.max_iterations = config_.max_iterations;
+  Result<SmoSolution> sol = SolveSmo(gram, y, smo_cfg);
+  if (!sol.ok()) return sol.status();
+
+  converged_ = sol.value().converged;
+  bias_ = sol.value().bias;
+  sv_rows_.clear();
+  sv_coeff_.clear();
+  for (size_t i = 0; i < n; ++i) {
+    const double a = sol.value().alpha[i];
+    if (a > 1e-10) {
+      sv_coeff_.push_back(a * static_cast<double>(y[i]));
+      sv_rows_.insert(sv_rows_.end(), rows.begin() + static_cast<long>(i * d_),
+                      rows.begin() + static_cast<long>((i + 1) * d_));
+    }
+  }
+  return Status::OK();
+}
+
+double KernelSvm::DecisionValue(const DataView& view, size_t i) const {
+  assert(view.num_features() == d_);
+  std::vector<uint32_t> query(d_);
+  for (size_t j = 0; j < d_; ++j) query[j] = view.feature(i, j);
+  double f = bias_;
+  const size_t num_sv = sv_coeff_.size();
+  for (size_t s = 0; s < num_sv; ++s) {
+    f += sv_coeff_[s] *
+         KernelEval(config_.kernel, &sv_rows_[s * d_], query.data(), d_);
+  }
+  return f;
+}
+
+uint8_t KernelSvm::Predict(const DataView& view, size_t i) const {
+  if (is_constant_) return constant_prediction_;
+  return DecisionValue(view, i) >= 0.0 ? 1 : 0;
+}
+
+}  // namespace ml
+}  // namespace hamlet

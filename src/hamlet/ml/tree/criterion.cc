@@ -1,0 +1,71 @@
+#include "hamlet/ml/tree/criterion.h"
+
+#include <cmath>
+
+namespace hamlet {
+namespace ml {
+
+const char* SplitCriterionName(SplitCriterion c) {
+  switch (c) {
+    case SplitCriterion::kGini:
+      return "gini";
+    case SplitCriterion::kInfoGain:
+      return "info_gain";
+    case SplitCriterion::kGainRatio:
+      return "gain_ratio";
+  }
+  return "unknown";
+}
+
+double GiniImpurity(size_t pos, size_t total) {
+  if (total == 0) return 0.0;
+  const double p = static_cast<double>(pos) / static_cast<double>(total);
+  return 2.0 * p * (1.0 - p);
+}
+
+double Entropy(size_t pos, size_t total) {
+  if (total == 0 || pos == 0 || pos == total) return 0.0;
+  const double p = static_cast<double>(pos) / static_cast<double>(total);
+  return -p * std::log(p) - (1.0 - p) * std::log(1.0 - p);
+}
+
+double NodeImpurity(SplitCriterion c, size_t pos, size_t total) {
+  switch (c) {
+    case SplitCriterion::kGini:
+      return GiniImpurity(pos, total);
+    case SplitCriterion::kInfoGain:
+    case SplitCriterion::kGainRatio:
+      return Entropy(pos, total);
+  }
+  return 0.0;
+}
+
+double SplitGain(SplitCriterion c, size_t pos_left, size_t n_left,
+                 size_t pos_right, size_t n_right) {
+  if (n_left == 0 || n_right == 0) return 0.0;
+  const size_t n = n_left + n_right;
+  const size_t pos = pos_left + pos_right;
+  const double parent =
+      static_cast<double>(n) * NodeImpurity(c, pos, n);
+  const double children =
+      static_cast<double>(n_left) * NodeImpurity(c, pos_left, n_left) +
+      static_cast<double>(n_right) * NodeImpurity(c, pos_right, n_right);
+  const double gain = parent - children;
+  return gain > 0.0 ? gain : 0.0;
+}
+
+double SplitScore(SplitCriterion c, size_t pos_left, size_t n_left,
+                  size_t pos_right, size_t n_right) {
+  const double gain = SplitGain(c, pos_left, n_left, pos_right, n_right);
+  if (c != SplitCriterion::kGainRatio || gain == 0.0) return gain;
+  // Split information: entropy of the branch proportions (counts-weighted
+  // form to stay in the same units as `gain`).
+  const size_t n = n_left + n_right;
+  const double split_info =
+      static_cast<double>(n) * Entropy(n_left, n);
+  if (split_info <= 1e-12) return 0.0;
+  return gain / split_info * static_cast<double>(n);
+}
+
+}  // namespace ml
+}  // namespace hamlet

@@ -1,0 +1,48 @@
+// Split criteria for binary-target CART: gini, information gain, gain
+// ratio (the three variants the paper evaluates, §3).
+
+#ifndef HAMLET_ML_TREE_CRITERION_H_
+#define HAMLET_ML_TREE_CRITERION_H_
+
+#include <cstddef>
+#include <string>
+
+namespace hamlet {
+namespace ml {
+
+/// Which impurity/score function drives split selection.
+enum class SplitCriterion {
+  kGini,
+  kInfoGain,
+  kGainRatio,
+};
+
+const char* SplitCriterionName(SplitCriterion c);
+
+/// Gini impurity of a binary node: 2 p (1-p), p = pos/total. 0 for empty.
+double GiniImpurity(size_t pos, size_t total);
+
+/// Binary entropy in nats. 0 for empty or pure nodes.
+double Entropy(size_t pos, size_t total);
+
+/// Node impurity under `c` (gain ratio uses entropy as its impurity).
+double NodeImpurity(SplitCriterion c, size_t pos, size_t total);
+
+/// Score of a candidate binary split under criterion `c`, as *absolute*
+/// impurity reduction weighted by counts:
+///   gain = n*I(parent) - nL*I(left) - nR*I(right)
+/// For kGainRatio, the information gain is divided by the split information
+/// (entropy of the branch proportions), penalising lopsided splits as in
+/// C4.5. Returns 0 for degenerate splits (an empty branch).
+double SplitScore(SplitCriterion c, size_t pos_left, size_t n_left,
+                  size_t pos_right, size_t n_right);
+
+/// The impurity-reduction part of the score (used for the rpart-style cp
+/// test even when selection is by gain ratio).
+double SplitGain(SplitCriterion c, size_t pos_left, size_t n_left,
+                 size_t pos_right, size_t n_right);
+
+}  // namespace ml
+}  // namespace hamlet
+
+#endif  // HAMLET_ML_TREE_CRITERION_H_

@@ -1,0 +1,69 @@
+#include "hamlet/ml/tree/tree_printer.h"
+
+#include <sstream>
+
+#include "hamlet/common/stringx.h"
+
+namespace hamlet {
+namespace ml {
+
+namespace {
+
+void PrintNode(const DecisionTree& tree, const DataView& view, int node_id,
+               size_t depth, size_t max_depth, std::ostringstream& out) {
+  const TreeNode& node = tree.nodes()[static_cast<size_t>(node_id)];
+  const std::string indent(depth * 2, ' ');
+  if (node.feature < 0) {
+    out << indent << "leaf: predict=" << static_cast<int>(node.prediction)
+        << " (n=" << node.count << ", pos=" << node.pos_count << ")\n";
+    return;
+  }
+  size_t left_codes = 0;
+  for (uint8_t g : node.goes_left) left_codes += g;
+  const std::string& fname =
+      view.feature_spec(static_cast<size_t>(node.feature)).name;
+  out << indent << fname << ": {" << left_codes << " of "
+      << node.goes_left.size() << " codes} -> left (n=" << node.count
+      << ")\n";
+  if (depth + 1 > max_depth) {
+    out << indent << "  ... (truncated at depth " << max_depth << ")\n";
+    return;
+  }
+  PrintNode(tree, view, node.left, depth + 1, max_depth, out);
+  PrintNode(tree, view, node.right, depth + 1, max_depth, out);
+}
+
+}  // namespace
+
+std::string PrintTree(const DecisionTree& tree, const DataView& view,
+                      size_t max_depth) {
+  if (tree.nodes().empty()) return "(unfitted tree)\n";
+  std::ostringstream out;
+  out << "DecisionTree[" << tree.name() << "] nodes=" << tree.num_nodes()
+      << " leaves=" << tree.num_leaves() << " depth=" << tree.depth()
+      << "\n";
+  PrintNode(tree, view, 0, 0, max_depth, out);
+  return out.str();
+}
+
+std::string PrintFeatureUsage(const DecisionTree& tree,
+                              const DataView& view) {
+  const std::vector<size_t> counts = tree.FeatureUseCounts();
+  size_t internal = 0;
+  for (size_t c : counts) internal += c;
+  std::ostringstream out;
+  out << "feature usage (" << internal << " internal nodes):\n";
+  for (size_t j = 0; j < counts.size(); ++j) {
+    const double frac =
+        internal == 0
+            ? 0.0
+            : static_cast<double>(counts[j]) / static_cast<double>(internal);
+    out << "  " << PadRight(view.feature_spec(j).name, 28) << " "
+        << PadLeft(std::to_string(counts[j]), 6) << "  ("
+        << FormatDouble(100.0 * frac, 1) << "%)\n";
+  }
+  return out.str();
+}
+
+}  // namespace ml
+}  // namespace hamlet

@@ -1,0 +1,31 @@
+// Textual rendering of a fitted decision tree.
+//
+// Motivated by the paper's §6: foreign-key features make trees hard to
+// interpret because a single node can route thousands of categories. The
+// printer summarises category subsets ("{3 of 40 codes} -> left") instead
+// of listing them, and reports per-feature usage so the FK-dominance
+// observation from §4.1 is visible.
+
+#ifndef HAMLET_ML_TREE_TREE_PRINTER_H_
+#define HAMLET_ML_TREE_TREE_PRINTER_H_
+
+#include <string>
+
+#include "hamlet/data/view.h"
+#include "hamlet/ml/tree/decision_tree.h"
+
+namespace hamlet {
+namespace ml {
+
+/// Multi-line indented rendering of the tree. `view` supplies feature
+/// names; it must have the same feature subset the tree was trained on.
+std::string PrintTree(const DecisionTree& tree, const DataView& view,
+                      size_t max_depth = 6);
+
+/// One line per feature: name, #nodes using it, fraction of internal nodes.
+std::string PrintFeatureUsage(const DecisionTree& tree, const DataView& view);
+
+}  // namespace ml
+}  // namespace hamlet
+
+#endif  // HAMLET_ML_TREE_TREE_PRINTER_H_

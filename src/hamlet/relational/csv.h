@@ -1,0 +1,42 @@
+// CSV import/export for categorical tables and datasets.
+//
+// Categorical values are stored as integer codes internally; CSV I/O maps
+// distinct strings to codes on read (building the domain) and writes codes
+// (or the remembered strings) on write. Used by the examples and for
+// inspecting generated data.
+
+#ifndef HAMLET_RELATIONAL_CSV_H_
+#define HAMLET_RELATIONAL_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "hamlet/common/status.h"
+#include "hamlet/data/dataset.h"
+#include "hamlet/relational/table.h"
+
+namespace hamlet {
+
+/// A table read from CSV plus the per-column code -> string dictionaries.
+struct CsvTable {
+  Table table;
+  std::vector<std::vector<std::string>> dictionaries;
+};
+
+/// Parses CSV text (first line = header) into a categorical table. Every
+/// column becomes categorical; the domain is the set of distinct strings in
+/// order of first appearance.
+Result<CsvTable> ReadCsv(const std::string& text);
+
+/// Loads a CSV file from disk.
+Result<CsvTable> ReadCsvFile(const std::string& path);
+
+/// Serialises a Dataset (codes, plus a final "label" column) to CSV text.
+std::string WriteDatasetCsv(const Dataset& data);
+
+/// Writes `text` to `path`.
+Status WriteFile(const std::string& path, const std::string& text);
+
+}  // namespace hamlet
+
+#endif  // HAMLET_RELATIONAL_CSV_H_

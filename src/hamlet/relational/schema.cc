@@ -1,0 +1,51 @@
+#include "hamlet/relational/schema.h"
+
+namespace hamlet {
+
+TableSchema::TableSchema(std::vector<ColumnSpec> columns)
+    : columns_(std::move(columns)) {}
+
+int TableSchema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status TableSchema::AddColumn(ColumnSpec spec) {
+  if (spec.domain_size == 0) {
+    return Status::InvalidArgument("column '" + spec.name +
+                                   "' has zero domain size");
+  }
+  if (IndexOf(spec.name) >= 0) {
+    return Status::InvalidArgument("duplicate column name '" + spec.name + "'");
+  }
+  columns_.push_back(std::move(spec));
+  return Status::OK();
+}
+
+Status TableSchema::ValidateRow(const std::vector<uint32_t>& codes) const {
+  if (codes.size() != columns_.size()) {
+    return Status::InvalidArgument("row arity mismatch");
+  }
+  for (size_t i = 0; i < codes.size(); ++i) {
+    if (codes[i] >= columns_[i].domain_size) {
+      return Status::OutOfRange("code out of domain for column '" +
+                                columns_[i].name + "'");
+    }
+  }
+  return Status::OK();
+}
+
+bool TableSchema::operator==(const TableSchema& other) const {
+  if (columns_.size() != other.columns_.size()) return false;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name != other.columns_[i].name ||
+        columns_[i].domain_size != other.columns_[i].domain_size) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace hamlet

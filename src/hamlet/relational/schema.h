@@ -1,0 +1,53 @@
+// Relational schema metadata for categorical tables.
+//
+// hamlet works in the paper's setting (§2.2): every attribute is categorical
+// with a known finite domain. A column's values are stored as integer codes
+// in [0, domain_size); code -> display-string mapping is optional and only
+// used for CSV I/O and tree printing.
+
+#ifndef HAMLET_RELATIONAL_SCHEMA_H_
+#define HAMLET_RELATIONAL_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hamlet/common/status.h"
+
+namespace hamlet {
+
+/// Metadata for one categorical column.
+struct ColumnSpec {
+  std::string name;
+  /// Number of distinct categories; codes are in [0, domain_size).
+  uint32_t domain_size = 0;
+};
+
+/// Ordered list of columns making up a table.
+class TableSchema {
+ public:
+  TableSchema() = default;
+  explicit TableSchema(std::vector<ColumnSpec> columns);
+
+  size_t num_columns() const { return columns_.size(); }
+  const ColumnSpec& column(size_t i) const { return columns_[i]; }
+  const std::vector<ColumnSpec>& columns() const { return columns_; }
+
+  /// Index of the column called `name`, or -1 when absent.
+  int IndexOf(const std::string& name) const;
+
+  /// Appends a column; fails on duplicate name or zero domain.
+  Status AddColumn(ColumnSpec spec);
+
+  /// Validates a row of codes against the column domains.
+  Status ValidateRow(const std::vector<uint32_t>& codes) const;
+
+  bool operator==(const TableSchema& other) const;
+
+ private:
+  std::vector<ColumnSpec> columns_;
+};
+
+}  // namespace hamlet
+
+#endif  // HAMLET_RELATIONAL_SCHEMA_H_

@@ -1,0 +1,72 @@
+#include "hamlet/relational/star_schema.h"
+
+#include <cassert>
+
+namespace hamlet {
+
+size_t StarSchema::AddDimension(std::string name, Table table) {
+  dims_.push_back(DimensionTable{std::move(name), std::move(table)});
+  fk_cols_.emplace_back();
+  return dims_.size() - 1;
+}
+
+Status StarSchema::AppendFact(const std::vector<uint32_t>& home_codes,
+                              const std::vector<uint32_t>& fks,
+                              uint8_t label) {
+  if (fks.size() != dims_.size()) {
+    return Status::InvalidArgument("expected one FK per dimension table");
+  }
+  if (label > 1) {
+    return Status::InvalidArgument("binary target required (label in {0,1})");
+  }
+  for (size_t i = 0; i < fks.size(); ++i) {
+    if (fks[i] >= dims_[i].table.num_rows()) {
+      return Status::OutOfRange("FK value exceeds dimension '" +
+                                dims_[i].name + "' cardinality");
+    }
+  }
+  HAMLET_RETURN_IF_ERROR(fact_.AppendRow(home_codes));
+  for (size_t i = 0; i < fks.size(); ++i) fk_cols_[i].push_back(fks[i]);
+  labels_.push_back(label);
+  return Status::OK();
+}
+
+double StarSchema::TupleRatio(size_t i) const {
+  assert(i < dims_.size());
+  const size_t nr = dims_[i].table.num_rows();
+  if (nr == 0) return 0.0;
+  return static_cast<double>(num_facts()) / static_cast<double>(nr);
+}
+
+Status StarSchema::Validate() const {
+  const size_t n = labels_.size();
+  if (fact_.num_rows() != n) {
+    return Status::Internal("fact row count != label count");
+  }
+  for (size_t i = 0; i < dims_.size(); ++i) {
+    if (fk_cols_[i].size() != n) {
+      return Status::Internal("FK column length mismatch for dimension '" +
+                              dims_[i].name + "'");
+    }
+    const size_t nr = dims_[i].table.num_rows();
+    if (nr == 0) {
+      return Status::FailedPrecondition("empty dimension table '" +
+                                        dims_[i].name + "'");
+    }
+    for (uint32_t fk : fk_cols_[i]) {
+      if (fk >= nr) {
+        return Status::OutOfRange("dangling FK into dimension '" +
+                                  dims_[i].name + "'");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+void StarSchema::ReserveFacts(size_t n) {
+  fact_.Reserve(n);
+  for (auto& col : fk_cols_) col.reserve(n);
+  labels_.reserve(n);
+}
+
+}  // namespace hamlet

@@ -1,0 +1,70 @@
+// Star schema container: one fact table plus q dimension tables.
+//
+// Mirrors the paper's setting (§2.1): the fact table S(SID, Y, X_S,
+// FK_1..FK_q) holds the target and home features; each dimension table
+// R_i(RID_i, X_Ri) holds foreign features. RIDs are implicit: row r of
+// dimension i *is* RID value r, and FK column i stores those row indices.
+
+#ifndef HAMLET_RELATIONAL_STAR_SCHEMA_H_
+#define HAMLET_RELATIONAL_STAR_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hamlet/common/status.h"
+#include "hamlet/relational/table.h"
+
+namespace hamlet {
+
+/// One dimension table plus its name (used to prefix feature names in the
+/// joined output, e.g. "users.age_bucket").
+struct DimensionTable {
+  std::string name;
+  Table table;
+};
+
+/// Fact table + dimensions + FK columns + labels.
+class StarSchema {
+ public:
+  StarSchema() = default;
+
+  /// `fact` holds only the home features X_S (possibly zero columns).
+  explicit StarSchema(Table fact) : fact_(std::move(fact)) {}
+
+  /// Adds a dimension table; returns its index.
+  size_t AddDimension(std::string name, Table table);
+
+  /// Appends one labeled fact row. `fks[i]` must be a valid row index into
+  /// dimension i.
+  Status AppendFact(const std::vector<uint32_t>& home_codes,
+                    const std::vector<uint32_t>& fks, uint8_t label);
+
+  const Table& fact() const { return fact_; }
+  size_t num_dimensions() const { return dims_.size(); }
+  const DimensionTable& dimension(size_t i) const { return dims_[i]; }
+  const std::vector<uint32_t>& fk_column(size_t i) const { return fk_cols_[i]; }
+  const std::vector<uint8_t>& labels() const { return labels_; }
+  size_t num_facts() const { return labels_.size(); }
+
+  /// n_S / n_R for dimension i — the paper's key statistic. The paper's
+  /// Table 1 reports it against the *training* rows (50% of n_S); callers
+  /// that want that convention scale by their train fraction.
+  double TupleRatio(size_t i) const;
+
+  /// Structural validation: FK ranges, equal column lengths, label arity.
+  Status Validate() const;
+
+  /// Pre-allocates fact-side capacity.
+  void ReserveFacts(size_t n);
+
+ private:
+  Table fact_;                                 // home features only
+  std::vector<DimensionTable> dims_;
+  std::vector<std::vector<uint32_t>> fk_cols_;  // fk_cols_[i][row] = RID
+  std::vector<uint8_t> labels_;
+};
+
+}  // namespace hamlet
+
+#endif  // HAMLET_RELATIONAL_STAR_SCHEMA_H_

@@ -1,0 +1,37 @@
+#include "hamlet/relational/table.h"
+
+#include <cassert>
+
+namespace hamlet {
+
+Table::Table(TableSchema schema) : schema_(std::move(schema)) {
+  columns_.resize(schema_.num_columns());
+}
+
+Status Table::AppendRow(const std::vector<uint32_t>& codes) {
+  HAMLET_RETURN_IF_ERROR(schema_.ValidateRow(codes));
+  AppendRowUnchecked(codes);
+  return Status::OK();
+}
+
+void Table::AppendRowUnchecked(const std::vector<uint32_t>& codes) {
+  assert(codes.size() == columns_.size());
+  for (size_t i = 0; i < codes.size(); ++i) {
+    assert(codes[i] < schema_.column(i).domain_size);
+    columns_[i].push_back(codes[i]);
+  }
+  ++num_rows_;
+}
+
+std::vector<uint32_t> Table::Row(size_t row) const {
+  assert(row < num_rows_);
+  std::vector<uint32_t> out(columns_.size());
+  for (size_t i = 0; i < columns_.size(); ++i) out[i] = columns_[i][row];
+  return out;
+}
+
+void Table::Reserve(size_t rows) {
+  for (auto& col : columns_) col.reserve(rows);
+}
+
+}  // namespace hamlet

@@ -1,0 +1,59 @@
+// Column-major categorical table.
+//
+// Storage is one contiguous vector of codes per column, which keeps the
+// learners cache-friendly: split search in the decision tree and the join
+// operator both scan single columns.
+
+#ifndef HAMLET_RELATIONAL_TABLE_H_
+#define HAMLET_RELATIONAL_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "hamlet/common/status.h"
+#include "hamlet/relational/schema.h"
+
+namespace hamlet {
+
+/// In-memory table of categorical codes, column-major.
+class Table {
+ public:
+  Table() = default;
+  explicit Table(TableSchema schema);
+
+  const TableSchema& schema() const { return schema_; }
+  size_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return schema_.num_columns(); }
+
+  /// Appends a validated row.
+  Status AppendRow(const std::vector<uint32_t>& codes);
+
+  /// Appends without domain validation (hot path for generators; asserts in
+  /// debug builds only).
+  void AppendRowUnchecked(const std::vector<uint32_t>& codes);
+
+  /// Code at (row, col); bounds-checked by assertion.
+  uint32_t at(size_t row, size_t col) const {
+    return columns_[col][row];
+  }
+
+  /// Whole column, for columnar scans.
+  const std::vector<uint32_t>& column(size_t col) const {
+    return columns_[col];
+  }
+
+  /// Materialises one row (for display / CSV export).
+  std::vector<uint32_t> Row(size_t row) const;
+
+  /// Pre-allocates capacity in every column.
+  void Reserve(size_t rows);
+
+ private:
+  TableSchema schema_;
+  std::vector<std::vector<uint32_t>> columns_;
+  size_t num_rows_ = 0;
+};
+
+}  // namespace hamlet
+
+#endif  // HAMLET_RELATIONAL_TABLE_H_

@@ -1,0 +1,83 @@
+#include "hamlet/synth/distributions.h"
+
+#include <cassert>
+#include <cmath>
+#include <deque>
+
+namespace hamlet {
+namespace synth {
+
+Discrete::Discrete(const std::vector<double>& weights) {
+  const size_t n = weights.size();
+  assert(n > 0);
+  double total = 0.0;
+  for (double w : weights) {
+    assert(w >= 0.0);
+    total += w;
+  }
+  assert(total > 0.0);
+
+  normalized_.resize(n);
+  for (size_t i = 0; i < n; ++i) normalized_[i] = weights[i] / total;
+
+  // Vose's alias method.
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+  std::deque<size_t> small, large;
+  std::vector<double> scaled(n);
+  for (size_t i = 0; i < n; ++i) {
+    scaled[i] = normalized_[i] * static_cast<double>(n);
+    (scaled[i] < 1.0 ? small : large).push_back(i);
+  }
+  while (!small.empty() && !large.empty()) {
+    const size_t s = small.front();
+    small.pop_front();
+    const size_t l = large.front();
+    large.pop_front();
+    prob_[s] = scaled[s];
+    alias_[s] = static_cast<uint32_t>(l);
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  while (!large.empty()) {
+    prob_[large.front()] = 1.0;
+    large.pop_front();
+  }
+  while (!small.empty()) {
+    prob_[small.front()] = 1.0;
+    small.pop_front();
+  }
+}
+
+uint32_t Discrete::Sample(Rng& rng) const {
+  const size_t i = static_cast<size_t>(rng.UniformInt(prob_.size()));
+  return rng.UniformDouble() < prob_[i] ? static_cast<uint32_t>(i)
+                                        : alias_[i];
+}
+
+Discrete MakeUniform(size_t n) {
+  return Discrete(std::vector<double>(n, 1.0));
+}
+
+Discrete MakeZipf(size_t n, double s) {
+  std::vector<double> w(n);
+  for (size_t i = 0; i < n; ++i) {
+    w[i] = 1.0 / std::pow(static_cast<double>(i + 1), s);
+  }
+  return Discrete(w);
+}
+
+Discrete MakeNeedleAndThread(size_t n, double needle_mass) {
+  assert(needle_mass >= 0.0 && needle_mass <= 1.0);
+  assert(n >= 2 || needle_mass == 1.0);
+  std::vector<double> w(n, 0.0);
+  w[0] = needle_mass;
+  if (n > 1) {
+    const double rest = (1.0 - needle_mass) / static_cast<double>(n - 1);
+    for (size_t i = 1; i < n; ++i) w[i] = rest;
+  }
+  return Discrete(w);
+}
+
+}  // namespace synth
+}  // namespace hamlet

@@ -1,0 +1,51 @@
+// Sampling distributions used by the data generators.
+//
+// Covers the paper's foreign-key skew models (§4.1 "Foreign Key Skew"):
+// uniform, Zipfian (parameterised by the exponent), and needle-and-thread
+// (one "needle" value takes probability mass p; the rest is spread
+// uniformly over the remaining "thread" values).
+
+#ifndef HAMLET_SYNTH_DISTRIBUTIONS_H_
+#define HAMLET_SYNTH_DISTRIBUTIONS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "hamlet/common/rng.h"
+
+namespace hamlet {
+namespace synth {
+
+/// Discrete distribution over {0..n-1} with O(1) sampling via the alias
+/// method (built once, sampled n_S times by the generators).
+class Discrete {
+ public:
+  /// `weights` are unnormalised and non-negative, with a positive sum.
+  explicit Discrete(const std::vector<double>& weights);
+
+  size_t size() const { return prob_.size(); }
+  uint32_t Sample(Rng& rng) const;
+
+  /// Normalised probability of value i (for tests).
+  double probability(size_t i) const { return normalized_[i]; }
+
+ private:
+  std::vector<double> prob_;       // alias-method cell probability
+  std::vector<uint32_t> alias_;
+  std::vector<double> normalized_;
+};
+
+/// Uniform over {0..n-1}.
+Discrete MakeUniform(size_t n);
+
+/// Zipfian: P(i) proportional to 1/(i+1)^s. s = 0 degenerates to uniform.
+Discrete MakeZipf(size_t n, double s);
+
+/// Needle-and-thread: P(0) = needle_mass, remaining mass uniform over the
+/// other n-1 values. Requires n >= 2 unless needle_mass == 1.
+Discrete MakeNeedleAndThread(size_t n, double needle_mass);
+
+}  // namespace synth
+}  // namespace hamlet
+
+#endif  // HAMLET_SYNTH_DISTRIBUTIONS_H_

@@ -1,0 +1,87 @@
+// Simulators for the paper's seven real-world datasets (Table 1).
+//
+// The original data (Kaggle / GroupLens / last.fm / openflights /
+// BookCrossing) is not available offline, so each dataset is replaced by a
+// star-schema generator that reproduces the properties the paper's analysis
+// depends on:
+//   * the schema shape: q, d_S, d_R per dimension (Table 1),
+//   * the per-dimension tuple ratio n_S / n_R (the paper's key statistic),
+//   * a planted "true" distribution whose signal placement recreates each
+//     dataset's qualitative behaviour in Tables 2-6 (e.g. Yelp's users
+//     table with tuple ratio 2.5 is the one join that is NOT safe to
+//     avoid; LastFM/Flights/Books lose accuracy under NoFK because part of
+//     the signal is per-RID and only the FK carries it).
+//
+// n_S is scaled down (default ~6000 labeled rows vs. the paper's 10^5-10^6)
+// so that all ten classifiers with grid search finish in minutes; tuple
+// ratios are preserved under scaling. See DESIGN.md §2 and EXPERIMENTS.md.
+
+#ifndef HAMLET_SYNTH_REALWORLD_H_
+#define HAMLET_SYNTH_REALWORLD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hamlet/relational/join.h"
+#include "hamlet/relational/star_schema.h"
+
+namespace hamlet {
+namespace synth {
+
+/// Signal/shape parameters for one dimension table of a simulated dataset.
+struct DimSpec {
+  std::string name;
+  size_t nr = 0;  ///< dimension cardinality |D_FK|
+  size_t dr = 0;  ///< number of foreign features
+  /// Weight of the signal carried by the foreign features X_R (recoverable
+  /// by JoinAll and NoFK; recoverable by NoJoin only through FK).
+  double xr_weight = 0.0;
+  /// Weight of the per-RID idiosyncratic signal (carried by FK but NOT by
+  /// X_R; this is what makes NoFK lose accuracy).
+  double rid_weight = 0.0;
+  /// FK column has an open domain (Expedia's search id): it is excluded
+  /// from the joined feature set, but its foreign features are joined in.
+  bool open_domain_fk = false;
+  /// Zipf exponent for the FK popularity distribution (0 = uniform).
+  double fk_zipf = 0.0;
+  /// When > 0, dimension rows are copies of this many distinct X_R
+  /// prototype patterns. Real dimension tables repeat attribute patterns
+  /// heavily; without this, a small table with many columns has unique
+  /// X_R rows and X_R would identify the RID, letting NoFK recover
+  /// per-RID signal it should not see. 0 = fully random rows.
+  size_t xr_prototypes = 0;
+};
+
+/// Full generator spec for one simulated dataset.
+struct RealWorldSpec {
+  std::string name;
+  size_t ns = 0;  ///< labeled fact rows
+  size_t ds = 0;  ///< home features
+  /// Weight of the home-feature signal.
+  double home_weight = 0.0;
+  /// Logistic sharpness for P(Y=1 | score); smaller = noisier labels.
+  double beta = 1.0;
+  std::vector<DimSpec> dims;
+  uint64_t seed = 7;
+};
+
+/// Samples a star schema from the spec's planted distribution.
+StarSchema GenerateRealWorld(const RealWorldSpec& spec);
+
+/// Join options matching the spec (excludes open-domain FKs).
+JoinOptions RealWorldJoinOptions(const RealWorldSpec& spec);
+
+/// The seven dataset specs in paper order: Expedia, Movies, Yelp, Walmart,
+/// LastFM, Books, Flights. `scale` multiplies n_S (and n_R with it, fixed
+/// tuple ratio); scale = 1.0 gives the quick default of ~6000 fact rows.
+std::vector<RealWorldSpec> AllRealWorldSpecs(double scale = 1.0);
+
+/// Lookup by (case-insensitive) dataset name.
+Result<RealWorldSpec> RealWorldSpecByName(const std::string& name,
+                                          double scale = 1.0);
+
+}  // namespace synth
+}  // namespace hamlet
+
+#endif  // HAMLET_SYNTH_REALWORLD_H_

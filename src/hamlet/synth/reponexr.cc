@@ -1,0 +1,62 @@
+#include "hamlet/synth/reponexr.h"
+
+#include <cassert>
+#include <string>
+
+#include "hamlet/common/rng.h"
+
+namespace hamlet {
+namespace synth {
+
+StarSchema GenerateRepOneXr(const RepOneXrConfig& cfg) {
+  assert(cfg.dr >= 1);
+  Rng rng(cfg.seed);
+
+  // Dimension: dr replicas of Xr per row; content seeded independently of
+  // the fact rows (fixed "true distribution" across Monte-Carlo runs).
+  Rng dim_rng(cfg.dim_seed);
+  TableSchema dim_schema;
+  for (size_t j = 0; j < cfg.dr; ++j) {
+    (void)dim_schema.AddColumn(
+        ColumnSpec{"xr_rep" + std::to_string(j), cfg.xr_domain});
+  }
+  Table dim(dim_schema);
+  dim.Reserve(cfg.nr);
+  std::vector<uint32_t> dim_row(cfg.dr);
+  for (size_t r = 0; r < cfg.nr; ++r) {
+    const uint32_t xr =
+        static_cast<uint32_t>(dim_rng.UniformInt(cfg.xr_domain));
+    for (size_t j = 0; j < cfg.dr; ++j) dim_row[j] = xr;
+    dim.AppendRowUnchecked(dim_row);
+  }
+
+  TableSchema fact_schema;
+  for (size_t j = 0; j < cfg.ds; ++j) {
+    (void)fact_schema.AddColumn(
+        ColumnSpec{"xs" + std::to_string(j), cfg.noise_domain});
+  }
+  StarSchema star{Table(fact_schema)};
+  star.AddDimension("r", std::move(dim));
+  star.ReserveFacts(cfg.ns);
+
+  std::vector<uint32_t> home(cfg.ds);
+  std::vector<uint32_t> fks(1);
+  for (size_t i = 0; i < cfg.ns; ++i) {
+    for (size_t j = 0; j < cfg.ds; ++j) {
+      home[j] = static_cast<uint32_t>(rng.UniformInt(cfg.noise_domain));
+    }
+    const uint32_t fk = static_cast<uint32_t>(rng.UniformInt(cfg.nr));
+    fks[0] = fk;
+    const uint32_t xr = star.dimension(0).table.at(fk, 0);
+    const uint8_t agree = static_cast<uint8_t>(xr % 2);
+    const uint8_t label =
+        rng.Bernoulli(cfg.p) ? agree : static_cast<uint8_t>(1 - agree);
+    Status st = star.AppendFact(home, fks, label);
+    assert(st.ok());
+    (void)st;
+  }
+  return star;
+}
+
+}  // namespace synth
+}  // namespace hamlet

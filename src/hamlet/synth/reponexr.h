@@ -1,0 +1,40 @@
+// Scenario RepOneXr generator (paper §4.3).
+//
+// Like OneXr, a lone feature Xr determines Y — but every column of X_R is a
+// replica of Xr. The FD FK -> X_R then guarantees at least as many distinct
+// FK values as Xr values; raising |D_FK| relative to |D_Xr| raises the
+// chance of a NoJoin model getting "confused", which is exactly the stress
+// the paper applies in Figures 7-9.
+
+#ifndef HAMLET_SYNTH_REPONEXR_H_
+#define HAMLET_SYNTH_REPONEXR_H_
+
+#include <cstdint>
+
+#include "hamlet/relational/star_schema.h"
+
+namespace hamlet {
+namespace synth {
+
+/// Parameters for Scenario RepOneXr. Defaults follow Figure 7(A).
+struct RepOneXrConfig {
+  size_t ns = 1000;
+  size_t nr = 40;
+  size_t ds = 4;
+  size_t dr = 4;            ///< all dr columns replicate Xr
+  uint32_t xr_domain = 2;
+  uint32_t noise_domain = 2;
+  double p = 0.1;           ///< same label noise convention as OneXr
+  /// Fact-row sampling seed (vary per Monte-Carlo run).
+  uint64_t seed = 1;
+  /// Dimension-content seed (fixed across runs; see OneXrConfig::dim_seed).
+  uint64_t dim_seed = 42;
+};
+
+/// Samples one star schema from the RepOneXr distribution.
+StarSchema GenerateRepOneXr(const RepOneXrConfig& config);
+
+}  // namespace synth
+}  // namespace hamlet
+
+#endif  // HAMLET_SYNTH_REPONEXR_H_

@@ -1,0 +1,103 @@
+#include "hamlet/synth/xsxr.h"
+
+#include <cassert>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "hamlet/common/rng.h"
+#include "hamlet/synth/distributions.h"
+
+namespace hamlet {
+namespace synth {
+
+namespace {
+
+/// Unpacks bit i of `mask` (TPT entries index [X_S, X_R] as bit vectors).
+inline uint32_t Bit(uint64_t mask, size_t i) {
+  return static_cast<uint32_t>((mask >> i) & 1u);
+}
+
+}  // namespace
+
+StarSchema GenerateXsxr(const XsxrConfig& cfg) {
+  assert(cfg.ds + cfg.dr <= 24 && "TPT is dense; ds+dr must stay small");
+  // dim_rng drives everything that defines the true distribution (TPT, Y
+  // table, dimension sample); rng drives only the per-run fact sampling.
+  Rng dim_rng(cfg.dim_seed);
+  Rng rng(cfg.seed);
+
+  const size_t total_bits = cfg.ds + cfg.dr;
+  const size_t tpt_size = size_t{1} << total_bits;
+  const size_t xr_size = size_t{1} << cfg.dr;
+
+  // Step 1: random TPT over [X_S, X_R]. Layout: low ds bits = X_S, next dr
+  // bits = X_R.
+  std::vector<double> tpt(tpt_size);
+  for (auto& v : tpt) v = dim_rng.UniformDouble();
+
+  // Step 2: deterministic Y per TPT entry (H(Y|X) = 0).
+  std::vector<uint8_t> y_of(tpt_size);
+  for (auto& y : y_of) y = static_cast<uint8_t>(dim_rng.UniformInt(2));
+
+  // Step 3: marginalise to P(X_R) and sample n_R dimension rows.
+  std::vector<double> xr_marginal(xr_size, 0.0);
+  for (size_t e = 0; e < tpt_size; ++e) {
+    xr_marginal[e >> cfg.ds] += tpt[e];
+  }
+  Discrete xr_dist(xr_marginal);
+
+  TableSchema dim_schema;
+  for (size_t j = 0; j < cfg.dr; ++j) {
+    (void)dim_schema.AddColumn(ColumnSpec{"xr" + std::to_string(j), 2});
+  }
+  Table dim(dim_schema);
+  dim.Reserve(cfg.nr);
+  // RIDs grouped by their X_R pattern for the implicit join in step 6.
+  std::unordered_map<uint64_t, std::vector<uint32_t>> rids_of_xr;
+  std::vector<uint32_t> dim_row(cfg.dr);
+  for (size_t r = 0; r < cfg.nr; ++r) {
+    const uint64_t xr_mask = xr_dist.Sample(dim_rng);
+    for (size_t j = 0; j < cfg.dr; ++j) dim_row[j] = Bit(xr_mask, j);
+    dim.AppendRowUnchecked(dim_row);
+    rids_of_xr[xr_mask].push_back(static_cast<uint32_t>(r));
+  }
+
+  // Step 4-5: zero out TPT entries whose X_R never made it into R, then
+  // renormalise (Discrete renormalises internally) and sample fact rows.
+  std::vector<double> fact_weights(tpt_size, 0.0);
+  double remaining = 0.0;
+  for (size_t e = 0; e < tpt_size; ++e) {
+    if (rids_of_xr.count(e >> cfg.ds) > 0) {
+      fact_weights[e] = tpt[e];
+      remaining += tpt[e];
+    }
+  }
+  assert(remaining > 0.0 && "every X_R pattern missed the dimension sample");
+  Discrete fact_dist(fact_weights);
+
+  TableSchema fact_schema;
+  for (size_t j = 0; j < cfg.ds; ++j) {
+    (void)fact_schema.AddColumn(ColumnSpec{"xs" + std::to_string(j), 2});
+  }
+  StarSchema star{Table(fact_schema)};
+  star.AddDimension("r", std::move(dim));
+  star.ReserveFacts(cfg.ns);
+
+  // Step 6: FK chosen uniformly among RIDs matching the example's X_R.
+  std::vector<uint32_t> home(cfg.ds);
+  std::vector<uint32_t> fks(1);
+  for (size_t i = 0; i < cfg.ns; ++i) {
+    const uint64_t entry = fact_dist.Sample(rng);
+    for (size_t j = 0; j < cfg.ds; ++j) home[j] = Bit(entry, j);
+    const auto& rids = rids_of_xr.at(entry >> cfg.ds);
+    fks[0] = rids[rng.UniformInt(rids.size())];
+    Status st = star.AppendFact(home, fks, y_of[entry]);
+    assert(st.ok());
+    (void)st;
+  }
+  return star;
+}
+
+}  // namespace synth
+}  // namespace hamlet

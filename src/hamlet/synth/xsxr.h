@@ -1,0 +1,39 @@
+// Scenario XSXR generator (paper §4.2).
+//
+// A noise-free "true probability table" (TPT) over all [X_S, X_R]
+// combinations determines Y deterministically (H(Y|X) = 0). The dimension
+// table is sampled from the marginal P(X_R); fact rows then pick an FK
+// uniformly among the RIDs whose X_R matches the example (an implicit
+// join), so the FD FK -> X_R holds by construction.
+
+#ifndef HAMLET_SYNTH_XSXR_H_
+#define HAMLET_SYNTH_XSXR_H_
+
+#include <cstdint>
+
+#include "hamlet/relational/star_schema.h"
+
+namespace hamlet {
+namespace synth {
+
+/// Parameters for Scenario XSXR. All features are boolean, as in the paper.
+/// Defaults follow Figure 6's fixed values.
+struct XsxrConfig {
+  size_t ns = 1000;   ///< labeled fact rows
+  size_t nr = 40;     ///< dimension cardinality |D_FK|
+  size_t ds = 4;      ///< home features
+  size_t dr = 4;      ///< foreign features
+  /// Fact-row sampling seed (vary per Monte-Carlo run).
+  uint64_t seed = 1;
+  /// Seeds the TPT, the deterministic Y assignment, and the dimension
+  /// sample — the whole "true distribution". Fixed across runs.
+  uint64_t dim_seed = 42;
+};
+
+/// Samples one star schema from the XSXR distribution.
+StarSchema GenerateXsxr(const XsxrConfig& config);
+
+}  // namespace synth
+}  // namespace hamlet
+
+#endif  // HAMLET_SYNTH_XSXR_H_

@@ -1,0 +1,103 @@
+// Tests for hamlet/core/advisor: the tuple-ratio decision rule.
+
+#include <gtest/gtest.h>
+
+#include "hamlet/core/advisor.h"
+#include "hamlet/synth/realworld.h"
+
+namespace hamlet {
+namespace core {
+namespace {
+
+StarSchema MakeStarWithRatio(size_t ns, size_t nr) {
+  Table dim(TableSchema({{"x", 2}}));
+  for (size_t r = 0; r < nr; ++r) dim.AppendRowUnchecked({0});
+  StarSchema star{Table(TableSchema({{"h", 2}}))};
+  star.AddDimension("d", std::move(dim));
+  for (size_t i = 0; i < ns; ++i) {
+    EXPECT_TRUE(
+        star.AppendFact({0}, {static_cast<uint32_t>(i % nr)}, i % 2).ok());
+  }
+  return star;
+}
+
+TEST(AdvisorTest, ThresholdsFollowThePaper) {
+  EXPECT_DOUBLE_EQ(SafetyThreshold(ModelFamily::kLinear), 20.0);
+  EXPECT_DOUBLE_EQ(SafetyThreshold(ModelFamily::kRbfSvm), 6.0);
+  EXPECT_DOUBLE_EQ(SafetyThreshold(ModelFamily::kDecisionTree), 3.0);
+  EXPECT_DOUBLE_EQ(SafetyThreshold(ModelFamily::kAnn), 3.0);
+  EXPECT_DOUBLE_EQ(SafetyThreshold(ModelFamily::kOneNn), 100.0);
+}
+
+TEST(AdvisorTest, HighRatioIsSafeForTreesNotForLinear) {
+  // Training tuple ratio = 0.5 * 1000/100 = 5: above the tree threshold,
+  // below the linear one. This is the paper's headline finding in rule
+  // form: trees need ~6x fewer examples than linear models.
+  StarSchema star = MakeStarWithRatio(1000, 100);
+  const auto tree = AdviseJoins(star, ModelFamily::kDecisionTree);
+  ASSERT_EQ(tree.size(), 1u);
+  EXPECT_EQ(tree[0].advice, JoinAdvice::kSafeToAvoid);
+  const auto linear = AdviseJoins(star, ModelFamily::kLinear);
+  EXPECT_EQ(linear[0].advice, JoinAdvice::kKeepJoin);
+}
+
+TEST(AdvisorTest, BorderlineBand) {
+  // Ratio 3.5 for trees (threshold 3, 1.5x band up to 4.5) -> borderline.
+  StarSchema star = MakeStarWithRatio(700, 100);
+  const auto advice = AdviseJoins(star, ModelFamily::kDecisionTree);
+  EXPECT_EQ(advice[0].advice, JoinAdvice::kBorderline);
+}
+
+TEST(AdvisorTest, LowRatioKeepsJoin) {
+  StarSchema star = MakeStarWithRatio(400, 100);  // train ratio 2
+  const auto advice = AdviseJoins(star, ModelFamily::kDecisionTree);
+  EXPECT_EQ(advice[0].advice, JoinAdvice::kKeepJoin);
+  EXPECT_NE(advice[0].rationale.find("conservative"), std::string::npos);
+}
+
+TEST(AdvisorTest, OpenDomainFkIsNeverAvoidable) {
+  StarSchema star = MakeStarWithRatio(10000, 10);
+  const auto advice =
+      AdviseJoins(star, ModelFamily::kDecisionTree, 0.5, {0});
+  EXPECT_EQ(advice[0].advice, JoinAdvice::kNeverAvoid);
+}
+
+TEST(AdvisorTest, TupleRatioUsesTrainFraction) {
+  StarSchema star = MakeStarWithRatio(1000, 100);
+  const auto half = AdviseJoins(star, ModelFamily::kLinear, 0.5);
+  const auto full = AdviseJoins(star, ModelFamily::kLinear, 1.0);
+  EXPECT_DOUBLE_EQ(half[0].tuple_ratio, 5.0);
+  EXPECT_DOUBLE_EQ(full[0].tuple_ratio, 10.0);
+}
+
+TEST(AdvisorTest, YelpUsersTableIsTheKnownUnsafeJoin) {
+  // End-to-end against the simulated Yelp star schema: the users dimension
+  // (tuple ratio 2.5) must be flagged for every model family, while the
+  // businesses dimension (9.4) is fine for trees.
+  auto spec = synth::RealWorldSpecByName("Yelp");
+  ASSERT_TRUE(spec.ok());
+  StarSchema star = synth::GenerateRealWorld(spec.value());
+  const auto advice = AdviseJoins(star, ModelFamily::kDecisionTree);
+  ASSERT_EQ(advice.size(), 2u);
+  EXPECT_NE(advice[0].advice, JoinAdvice::kKeepJoin);   // businesses
+  EXPECT_EQ(advice[1].advice, JoinAdvice::kKeepJoin);   // users, TR 2.5
+}
+
+TEST(AdvisorTest, FormatProducesOneRowPerDimension) {
+  StarSchema star = MakeStarWithRatio(1000, 100);
+  const auto advice = AdviseJoins(star, ModelFamily::kRbfSvm);
+  const std::string text = FormatAdvice(advice);
+  EXPECT_NE(text.find("dimension"), std::string::npos);
+  EXPECT_NE(text.find("d"), std::string::npos);
+  EXPECT_NE(text.find("rbf-svm"), std::string::npos);
+}
+
+TEST(AdvisorTest, Names) {
+  EXPECT_STREQ(ModelFamilyName(ModelFamily::kAnn), "ann");
+  EXPECT_STREQ(JoinAdviceName(JoinAdvice::kSafeToAvoid), "safe-to-avoid");
+  EXPECT_STREQ(JoinAdviceName(JoinAdvice::kNeverAvoid), "never-avoid");
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace hamlet

@@ -1,0 +1,177 @@
+// Tests for hamlet/ml/ann: MLP with Adam and sparse one-hot input.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hamlet/common/rng.h"
+#include "hamlet/data/dataset.h"
+#include "hamlet/data/view.h"
+#include "hamlet/ml/ann/mlp.h"
+#include "hamlet/ml/metrics.h"
+
+namespace hamlet {
+namespace ml {
+namespace {
+
+Dataset MakeSeparable(size_t n, uint64_t seed) {
+  Dataset d({{"sig", 2, FeatureRole::kHome, -1},
+             {"noise", 3, FeatureRole::kHome, -1}});
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t s = static_cast<uint32_t>(rng.UniformInt(2));
+    d.AppendRowUnchecked({s, static_cast<uint32_t>(rng.UniformInt(3))},
+                         static_cast<uint8_t>(s));
+  }
+  return d;
+}
+
+Dataset MakeXor(size_t n, uint64_t seed) {
+  Dataset d({{"a", 2, FeatureRole::kHome, -1},
+             {"b", 2, FeatureRole::kHome, -1}});
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t a = static_cast<uint32_t>(rng.UniformInt(2));
+    const uint32_t b = static_cast<uint32_t>(rng.UniformInt(2));
+    d.AppendRowUnchecked({a, b}, static_cast<uint8_t>(a ^ b));
+  }
+  return d;
+}
+
+MlpConfig SmallConfig() {
+  MlpConfig cfg;
+  cfg.hidden_sizes = {16, 8};  // small nets keep tests fast
+  cfg.learning_rate = 0.01;
+  cfg.l2 = 1e-4;
+  cfg.epochs = 40;
+  cfg.seed = 3;
+  return cfg;
+}
+
+TEST(MlpTest, LearnsLinearSignal) {
+  Dataset data = MakeSeparable(300, 1);
+  DataView view(&data);
+  Mlp mlp(SmallConfig());
+  ASSERT_TRUE(mlp.Fit(view).ok());
+  EXPECT_GE(Accuracy(mlp, view), 0.98);
+}
+
+TEST(MlpTest, LearnsXor) {
+  Dataset data = MakeXor(400, 2);
+  DataView view(&data);
+  Mlp mlp(SmallConfig());
+  ASSERT_TRUE(mlp.Fit(view).ok());
+  EXPECT_GE(Accuracy(mlp, view), 0.98);
+}
+
+TEST(MlpTest, GeneralisesXorOutOfSample) {
+  Dataset train = MakeXor(400, 3);
+  Dataset test = MakeXor(200, 4);
+  Mlp mlp(SmallConfig());
+  ASSERT_TRUE(mlp.Fit(DataView(&train)).ok());
+  EXPECT_GE(Accuracy(mlp, DataView(&test)), 0.98);
+}
+
+TEST(MlpTest, ProbabilitiesAreCalibratedToUnitInterval) {
+  Dataset data = MakeXor(200, 5);
+  DataView view(&data);
+  Mlp mlp(SmallConfig());
+  ASSERT_TRUE(mlp.Fit(view).ok());
+  for (size_t i = 0; i < view.num_rows(); ++i) {
+    const double p = mlp.PredictProbability(view, i);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    EXPECT_EQ(mlp.Predict(view, i), p >= 0.5 ? 1 : 0);
+  }
+}
+
+TEST(MlpTest, DeterministicInSeed) {
+  Dataset data = MakeXor(200, 6);
+  DataView view(&data);
+  Mlp a(SmallConfig()), b(SmallConfig());
+  ASSERT_TRUE(a.Fit(view).ok());
+  ASSERT_TRUE(b.Fit(view).ok());
+  for (size_t i = 0; i < view.num_rows(); ++i) {
+    EXPECT_DOUBLE_EQ(a.PredictProbability(view, i),
+                     b.PredictProbability(view, i));
+  }
+}
+
+TEST(MlpTest, EmptyTrainingFails) {
+  Dataset data = MakeXor(10, 7);
+  DataView empty(&data, {}, {0, 1});
+  Mlp mlp(SmallConfig());
+  EXPECT_FALSE(mlp.Fit(empty).ok());
+}
+
+TEST(MlpTest, RejectsNoHiddenLayers) {
+  MlpConfig cfg = SmallConfig();
+  cfg.hidden_sizes = {};
+  Mlp mlp(cfg);
+  Dataset data = MakeXor(50, 8);
+  EXPECT_FALSE(mlp.Fit(DataView(&data)).ok());
+}
+
+TEST(MlpTest, StrongL2ShrinksConfidence) {
+  Dataset data = MakeSeparable(300, 9);
+  DataView view(&data);
+  MlpConfig weak = SmallConfig();
+  weak.l2 = 1e-5;
+  MlpConfig strong = SmallConfig();
+  strong.l2 = 1.0;  // heavy penalty keeps weights near zero
+  Mlp mw(weak), ms(strong);
+  ASSERT_TRUE(mw.Fit(view).ok());
+  ASSERT_TRUE(ms.Fit(view).ok());
+  double conf_weak = 0.0, conf_strong = 0.0;
+  for (size_t i = 0; i < view.num_rows(); ++i) {
+    conf_weak += std::abs(mw.PredictProbability(view, i) - 0.5);
+    conf_strong += std::abs(ms.PredictProbability(view, i) - 0.5);
+  }
+  EXPECT_GT(conf_weak, conf_strong);
+}
+
+TEST(MlpTest, HandlesLargeFkDomainInput) {
+  // One-hot dimension ~500: exercises the sparse first-layer path.
+  Rng rng(10);
+  Dataset d({{"fk", 500, FeatureRole::kForeignKey, 0}});
+  std::vector<uint8_t> fk_label(500);
+  for (auto& v : fk_label) v = static_cast<uint8_t>(rng.UniformInt(2));
+  for (int i = 0; i < 600; ++i) {
+    const uint32_t fk = static_cast<uint32_t>(rng.UniformInt(500));
+    d.AppendRowUnchecked({fk}, fk_label[fk]);
+  }
+  MlpConfig cfg = SmallConfig();
+  cfg.epochs = 60;
+  Mlp mlp(cfg);
+  ASSERT_TRUE(mlp.Fit(DataView(&d)).ok());
+  EXPECT_GE(Accuracy(mlp, DataView(&d)), 0.9);
+}
+
+// Sweep the paper's tuning grid corners: training must stay stable (no
+// NaNs, accuracy above majority) for every (lr, l2) combination.
+class MlpGridTest
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(MlpGridTest, StableAcrossTuningGrid) {
+  const auto [lr, l2] = GetParam();
+  Dataset data = MakeSeparable(200, 11);
+  DataView view(&data);
+  MlpConfig cfg = SmallConfig();
+  cfg.learning_rate = lr;
+  cfg.l2 = l2;
+  cfg.epochs = 20;
+  Mlp mlp(cfg);
+  ASSERT_TRUE(mlp.Fit(view).ok());
+  const double acc = Accuracy(mlp, view);
+  EXPECT_TRUE(std::isfinite(acc));
+  EXPECT_GE(acc, 0.45);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperGrid, MlpGridTest,
+    ::testing::Combine(::testing::Values(1e-3, 1e-2, 1e-1),
+                       ::testing::Values(1e-4, 1e-3, 1e-2)));
+
+}  // namespace
+}  // namespace ml
+}  // namespace hamlet

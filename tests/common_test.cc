@@ -1,0 +1,239 @@
+// Tests for hamlet/common: Status/Result, RNG, string helpers.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "hamlet/common/rng.h"
+#include "hamlet/common/status.h"
+#include "hamlet/common/stringx.h"
+
+namespace hamlet {
+namespace {
+
+// ---------------------------------------------------------------- Status --
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::InvalidArgument("bad row");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(st.message(), "bad row");
+  EXPECT_EQ(st.ToString(), "InvalidArgument: bad row");
+}
+
+TEST(StatusTest, AllFactoriesProduceDistinctCodes) {
+  std::set<StatusCode> codes = {
+      Status::InvalidArgument("").code(), Status::NotFound("").code(),
+      Status::OutOfRange("").code(), Status::FailedPrecondition("").code(),
+      Status::Internal("").code()};
+  EXPECT_EQ(codes.size(), 5u);
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "NotFound");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "Internal");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("gone"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::vector<int>> r(std::vector<int>{1, 2, 3});
+  std::vector<int> v = std::move(r).value();
+  EXPECT_EQ(v.size(), 3u);
+}
+
+Status FailsThenPropagates() {
+  HAMLET_RETURN_IF_ERROR(Status::Internal("inner"));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorMacroPropagates) {
+  Status st = FailsThenPropagates();
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.message(), "inner");
+}
+
+// ------------------------------------------------------------------- Rng --
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += a.Next() == b.Next();
+  EXPECT_LT(equal, 4);
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.UniformInt(13), 13u);
+  }
+}
+
+TEST(RngTest, UniformIntCoversAllValues) {
+  Rng rng(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.UniformInt(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, UniformIntIsRoughlyUniform) {
+  Rng rng(11);
+  std::vector<int> counts(8, 0);
+  const int n = 80000;
+  for (int i = 0; i < n; ++i) ++counts[rng.UniformInt(8)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, n / 8, 4 * std::sqrt(n / 8.0));
+  }
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(3);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.UniformDouble();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(5);
+  int hits = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, NormalMomentsAreStandard) {
+  Rng rng(13);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(42);
+  Rng child = a.Fork(1);
+  Rng a2(42);
+  Rng child2 = a2.Fork(1);
+  // Same fork is reproducible...
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(child.Next(), child2.Next());
+  // ...and differs from another stream.
+  Rng a3(42);
+  Rng other = a3.Fork(2);
+  int equal = 0;
+  Rng a4(42);
+  Rng base = a4.Fork(1);
+  for (int i = 0; i < 64; ++i) equal += base.Next() == other.Next();
+  EXPECT_LT(equal, 4);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(17);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> original = v;
+  rng.Shuffle(v);
+  EXPECT_FALSE(std::equal(v.begin(), v.end(), original.begin()));
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(RngTest, SampleDiscreteRespectsWeights) {
+  Rng rng(23);
+  std::vector<double> w = {1.0, 3.0, 0.0, 6.0};
+  std::vector<int> counts(4, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[SampleDiscrete(rng, w)];
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.01);
+  EXPECT_NEAR(counts[3] / static_cast<double>(n), 0.6, 0.01);
+}
+
+TEST(RngTest, SplitMix64KnownSequenceIsDeterministic) {
+  uint64_t s1 = 0;
+  uint64_t s2 = 0;
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(SplitMix64(s1), SplitMix64(s2));
+  }
+}
+
+// --------------------------------------------------------------- stringx --
+
+TEST(StringxTest, JoinStrings) {
+  EXPECT_EQ(JoinStrings({"a", "b", "c"}, ","), "a,b,c");
+  EXPECT_EQ(JoinStrings({}, ","), "");
+  EXPECT_EQ(JoinStrings({"solo"}, ", "), "solo");
+}
+
+TEST(StringxTest, SplitString) {
+  EXPECT_EQ(SplitString("a,b,c", ',').size(), 3u);
+  EXPECT_EQ(SplitString("a,,c", ',')[1], "");
+  EXPECT_EQ(SplitString("", ',').size(), 1u);
+  EXPECT_EQ(SplitString("trailing,", ',').size(), 2u);
+}
+
+TEST(StringxTest, SplitJoinRoundTrip) {
+  const std::string s = "x,y,,z";
+  EXPECT_EQ(JoinStrings(SplitString(s, ','), ","), s);
+}
+
+TEST(StringxTest, TrimString) {
+  EXPECT_EQ(TrimString("  hi  "), "hi");
+  EXPECT_EQ(TrimString("\t\nhi"), "hi");
+  EXPECT_EQ(TrimString("hi"), "hi");
+  EXPECT_EQ(TrimString("   "), "");
+}
+
+TEST(StringxTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(0.85371, 4), "0.8537");
+  EXPECT_EQ(FormatDouble(2.0, 1), "2.0");
+  EXPECT_EQ(FormatDouble(-0.5, 2), "-0.50");
+}
+
+TEST(StringxTest, Padding) {
+  EXPECT_EQ(PadRight("ab", 4), "ab  ");
+  EXPECT_EQ(PadLeft("ab", 4), "  ab");
+  EXPECT_EQ(PadRight("abcdef", 4), "abcd");
+  EXPECT_EQ(PadLeft("abcdef", 4), "abcd");
+}
+
+}  // namespace
+}  // namespace hamlet

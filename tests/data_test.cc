@@ -1,0 +1,224 @@
+// Tests for hamlet/data: Dataset, DataView, splits, one-hot map.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "hamlet/data/dataset.h"
+#include "hamlet/data/one_hot.h"
+#include "hamlet/data/split.h"
+#include "hamlet/data/view.h"
+
+namespace hamlet {
+namespace {
+
+Dataset MakeDataset() {
+  // home(2), fk(5), foreign(3)
+  Dataset d({{"h", 2, FeatureRole::kHome, -1},
+             {"fk_r", 5, FeatureRole::kForeignKey, 0},
+             {"r.x", 3, FeatureRole::kForeign, 0}});
+  EXPECT_TRUE(d.AppendRow({0, 4, 2}, 1).ok());
+  EXPECT_TRUE(d.AppendRow({1, 0, 0}, 0).ok());
+  EXPECT_TRUE(d.AppendRow({1, 2, 1}, 1).ok());
+  EXPECT_TRUE(d.AppendRow({0, 3, 2}, 0).ok());
+  return d;
+}
+
+// --------------------------------------------------------------- Dataset --
+
+TEST(DatasetTest, BasicAccessors) {
+  Dataset d = MakeDataset();
+  EXPECT_EQ(d.num_rows(), 4u);
+  EXPECT_EQ(d.num_features(), 3u);
+  EXPECT_EQ(d.feature(0, 1), 4u);
+  EXPECT_EQ(d.label(2), 1);
+  EXPECT_EQ(d.IndexOf("r.x"), 2);
+  EXPECT_EQ(d.IndexOf("nope"), -1);
+  EXPECT_EQ(d.OneHotDimension(), 2u + 5u + 3u);
+}
+
+TEST(DatasetTest, AppendValidation) {
+  Dataset d = MakeDataset();
+  EXPECT_FALSE(d.AppendRow({0, 5, 0}, 1).ok());  // fk out of domain
+  EXPECT_FALSE(d.AppendRow({0, 0}, 1).ok());     // arity
+  EXPECT_FALSE(d.AppendRow({0, 0, 0}, 2).ok());  // label
+  EXPECT_EQ(d.num_rows(), 4u);
+}
+
+TEST(DatasetTest, RoleNames) {
+  EXPECT_STREQ(FeatureRoleName(FeatureRole::kHome), "home");
+  EXPECT_STREQ(FeatureRoleName(FeatureRole::kForeignKey), "foreign_key");
+  EXPECT_STREQ(FeatureRoleName(FeatureRole::kForeign), "foreign");
+}
+
+TEST(DatasetTest, ReplaceColumnChangesDomain) {
+  Dataset d = MakeDataset();
+  ASSERT_TRUE(d.ReplaceColumn(1, {1, 0, 1, 0}, 2).ok());
+  EXPECT_EQ(d.feature_spec(1).domain_size, 2u);
+  EXPECT_EQ(d.feature(0, 1), 1u);
+}
+
+TEST(DatasetTest, ReplaceColumnValidates) {
+  Dataset d = MakeDataset();
+  EXPECT_FALSE(d.ReplaceColumn(9, {0, 0, 0, 0}, 2).ok());   // no column
+  EXPECT_FALSE(d.ReplaceColumn(1, {0, 0}, 2).ok());          // length
+  EXPECT_FALSE(d.ReplaceColumn(1, {2, 0, 0, 0}, 2).ok());    // code range
+}
+
+// -------------------------------------------------------------- DataView --
+
+TEST(DataViewTest, FullViewSeesEverything) {
+  Dataset d = MakeDataset();
+  DataView v(&d);
+  EXPECT_EQ(v.num_rows(), 4u);
+  EXPECT_EQ(v.num_features(), 3u);
+  EXPECT_EQ(v.feature(3, 2), 2u);
+  EXPECT_EQ(v.label(3), 0);
+  EXPECT_DOUBLE_EQ(v.PositiveRate(), 0.5);
+}
+
+TEST(DataViewTest, RowAndFeatureSubsets) {
+  Dataset d = MakeDataset();
+  DataView v(&d, {2, 0}, {1, 2});
+  EXPECT_EQ(v.num_rows(), 2u);
+  EXPECT_EQ(v.num_features(), 2u);
+  // View row 0 = dataset row 2: fk=2, r.x=1.
+  EXPECT_EQ(v.feature(0, 0), 2u);
+  EXPECT_EQ(v.feature(0, 1), 1u);
+  EXPECT_EQ(v.label(0), 1);
+  EXPECT_EQ(v.row_id(1), 0u);
+  EXPECT_EQ(v.feature_id(0), 1u);
+  EXPECT_EQ(v.domain_size(0), 5u);
+}
+
+TEST(DataViewTest, SelectRowsComposes) {
+  Dataset d = MakeDataset();
+  DataView v(&d, {3, 2, 1}, {0});
+  DataView w = v.SelectRows({2, 0});  // view rows 2,0 -> dataset rows 1,3
+  EXPECT_EQ(w.num_rows(), 2u);
+  EXPECT_EQ(w.row_id(0), 1u);
+  EXPECT_EQ(w.row_id(1), 3u);
+}
+
+TEST(DataViewTest, WithFeaturesKeepsRows) {
+  Dataset d = MakeDataset();
+  DataView v(&d, {1, 2}, {0, 1, 2});
+  DataView w = v.WithFeatures({2});
+  EXPECT_EQ(w.num_rows(), 2u);
+  EXPECT_EQ(w.num_features(), 1u);
+  EXPECT_EQ(w.feature(0, 0), 0u);  // dataset row 1, column 2
+}
+
+TEST(DataViewTest, RowCodesMaterialises) {
+  Dataset d = MakeDataset();
+  DataView v(&d, {0}, {2, 0});
+  EXPECT_EQ(v.RowCodes(0), (std::vector<uint32_t>{2, 0}));
+}
+
+TEST(DataViewTest, OneHotDimensionOfSubset) {
+  Dataset d = MakeDataset();
+  DataView v(&d, {0, 1}, {0, 2});
+  EXPECT_EQ(v.OneHotDimension(), 2u + 3u);
+}
+
+// ----------------------------------------------------------------- Split --
+
+TEST(SplitTest, PartitionIsDisjointAndComplete) {
+  TrainValTest s = SplitRows(100, 0.5, 0.25, 42);
+  EXPECT_EQ(s.train.size(), 50u);
+  EXPECT_EQ(s.val.size(), 25u);
+  EXPECT_EQ(s.test.size(), 25u);
+  std::set<uint32_t> all;
+  for (auto part : {&s.train, &s.val, &s.test}) {
+    for (uint32_t id : *part) {
+      EXPECT_TRUE(all.insert(id).second) << "duplicate row id " << id;
+      EXPECT_LT(id, 100u);
+    }
+  }
+  EXPECT_EQ(all.size(), 100u);
+}
+
+TEST(SplitTest, DeterministicInSeed) {
+  TrainValTest a = SplitRows(50, 0.5, 0.25, 7);
+  TrainValTest b = SplitRows(50, 0.5, 0.25, 7);
+  EXPECT_EQ(a.train, b.train);
+  EXPECT_EQ(a.test, b.test);
+  TrainValTest c = SplitRows(50, 0.5, 0.25, 8);
+  EXPECT_NE(a.train, c.train);
+}
+
+TEST(SplitTest, PaperSplitIs502525) {
+  TrainValTest s = SplitPaper(1000, 1);
+  EXPECT_EQ(s.train.size(), 500u);
+  EXPECT_EQ(s.val.size(), 250u);
+  EXPECT_EQ(s.test.size(), 250u);
+}
+
+TEST(SplitTest, MakeSplitViewsBindsRowsAndFeatures) {
+  Dataset d = MakeDataset();
+  TrainValTest s;
+  s.train = {0, 1};
+  s.val = {2};
+  s.test = {3};
+  SplitViews views = MakeSplitViews(d, s, {0, 2});
+  EXPECT_EQ(views.train.num_rows(), 2u);
+  EXPECT_EQ(views.val.num_rows(), 1u);
+  EXPECT_EQ(views.test.num_rows(), 1u);
+  EXPECT_EQ(views.train.num_features(), 2u);
+  EXPECT_EQ(views.test.feature(0, 1), 2u);
+}
+
+// ---------------------------------------------------------------- OneHot --
+
+TEST(OneHotTest, OffsetsAreCumulative) {
+  Dataset d = MakeDataset();
+  DataView v(&d);
+  OneHotMap map(v);
+  EXPECT_EQ(map.dimension(), 10u);
+  EXPECT_EQ(map.UnitIndex(0, 1), 1u);
+  EXPECT_EQ(map.UnitIndex(1, 0), 2u);
+  EXPECT_EQ(map.UnitIndex(2, 2), 9u);
+}
+
+TEST(OneHotTest, ActiveUnitsOnePerFeature) {
+  Dataset d = MakeDataset();
+  DataView v(&d);
+  OneHotMap map(v);
+  std::vector<uint32_t> active;
+  map.ActiveUnits(v, 0, active);  // row 0: h=0, fk=4, r.x=2
+  EXPECT_EQ(active, (std::vector<uint32_t>{0, 6, 9}));
+}
+
+TEST(OneHotTest, RespectsFeatureSubset) {
+  Dataset d = MakeDataset();
+  DataView v(&d, {0, 1, 2, 3}, {2});  // only the foreign feature
+  OneHotMap map(v);
+  EXPECT_EQ(map.dimension(), 3u);
+  std::vector<uint32_t> active;
+  map.ActiveUnits(v, 2, active);  // row 2: r.x = 1
+  EXPECT_EQ(active, (std::vector<uint32_t>{1}));
+}
+
+TEST(OneHotTest, DistancePropertyMatchesMismatchCount) {
+  // ||u(a)-u(b)||^2 = 2 * #mismatches — the identity the SVM kernels use.
+  Dataset d = MakeDataset();
+  DataView v(&d);
+  OneHotMap map(v);
+  std::vector<uint32_t> a, b;
+  map.ActiveUnits(v, 0, a);
+  map.ActiveUnits(v, 1, b);
+  size_t mismatches = 0;
+  for (size_t j = 0; j < v.num_features(); ++j) {
+    mismatches += v.feature(0, j) != v.feature(1, j);
+  }
+  // One-hot squared distance: count units active in exactly one row.
+  std::set<uint32_t> sa(a.begin(), a.end()), sb(b.begin(), b.end());
+  size_t sym_diff = 0;
+  for (uint32_t u : sa) sym_diff += sb.count(u) == 0;
+  for (uint32_t u : sb) sym_diff += sa.count(u) == 0;
+  EXPECT_EQ(sym_diff, 2 * mismatches);
+}
+
+}  // namespace
+}  // namespace hamlet

@@ -1,0 +1,251 @@
+// Tests for hamlet/ml common infrastructure: metrics, grid search,
+// bias-variance decomposition.
+
+#include <gtest/gtest.h>
+
+#include "hamlet/common/rng.h"
+#include "hamlet/data/dataset.h"
+#include "hamlet/data/split.h"
+#include "hamlet/data/view.h"
+#include "hamlet/ml/bias_variance.h"
+#include "hamlet/ml/grid_search.h"
+#include "hamlet/ml/metrics.h"
+#include "hamlet/ml/tree/decision_tree.h"
+
+namespace hamlet {
+namespace ml {
+namespace {
+
+// --------------------------------------------------------------- metrics --
+
+/// Constant classifier used to exercise the metric plumbing.
+class ConstantModel : public Classifier {
+ public:
+  explicit ConstantModel(uint8_t value) : value_(value) {}
+  Status Fit(const DataView&) override { return Status::OK(); }
+  uint8_t Predict(const DataView&, size_t) const override { return value_; }
+  std::string name() const override { return "const"; }
+
+ private:
+  uint8_t value_;
+};
+
+Dataset MakeLabeled(const std::vector<uint8_t>& labels) {
+  Dataset d({{"f", 2, FeatureRole::kHome, -1}});
+  for (uint8_t y : labels) d.AppendRowUnchecked({0}, y);
+  return d;
+}
+
+TEST(MetricsTest, ConfusionCounts) {
+  Dataset d = MakeLabeled({1, 1, 0, 0, 1});
+  ConstantModel ones(1);
+  ConfusionMatrix cm = Evaluate(ones, DataView(&d));
+  EXPECT_EQ(cm.tp, 3u);
+  EXPECT_EQ(cm.fp, 2u);
+  EXPECT_EQ(cm.tn, 0u);
+  EXPECT_EQ(cm.fn, 0u);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 0.6);
+  EXPECT_DOUBLE_EQ(cm.error_rate(), 0.4);
+  EXPECT_DOUBLE_EQ(cm.precision(), 0.6);
+  EXPECT_DOUBLE_EQ(cm.recall(), 1.0);
+  EXPECT_NEAR(cm.f1(), 0.75, 1e-12);
+}
+
+TEST(MetricsTest, EmptyViewDegenerates) {
+  Dataset d = MakeLabeled({1});
+  DataView empty(&d, {}, {0});
+  ConstantModel ones(1);
+  EXPECT_DOUBLE_EQ(Accuracy(ones, empty), 0.0);
+}
+
+TEST(MetricsTest, PredictionAccuracy) {
+  EXPECT_DOUBLE_EQ(PredictionAccuracy({1, 0, 1}, {1, 1, 1}), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(PredictionAccuracy({}, {}), 0.0);
+}
+
+// ----------------------------------------------------------- grid search --
+
+TEST(ParamGridTest, EnumeratesCartesianProduct) {
+  ParamGrid grid;
+  grid.Add("a", {1, 2}).Add("b", {10, 20, 30});
+  const auto all = grid.Enumerate();
+  ASSERT_EQ(all.size(), 6u);
+  EXPECT_DOUBLE_EQ(all[0].at("a"), 1);
+  EXPECT_DOUBLE_EQ(all[0].at("b"), 10);
+  EXPECT_DOUBLE_EQ(all[5].at("a"), 2);
+  EXPECT_DOUBLE_EQ(all[5].at("b"), 30);
+}
+
+TEST(ParamGridTest, EmptyGridYieldsOneAssignment) {
+  EXPECT_EQ(ParamGrid().Enumerate().size(), 1u);
+}
+
+TEST(ParamGridTest, ParamOrFallback) {
+  ParamMap m{{"x", 2.0}};
+  EXPECT_DOUBLE_EQ(ParamOr(m, "x", 9.0), 2.0);
+  EXPECT_DOUBLE_EQ(ParamOr(m, "y", 9.0), 9.0);
+}
+
+/// Model whose validation accuracy is directly controlled by a parameter:
+/// accuracy = 1 when p == target else fraction p/10. Lets the test verify
+/// the search picks the argmax.
+class TunableModel : public Classifier {
+ public:
+  explicit TunableModel(double p) : p_(p) {}
+  Status Fit(const DataView&) override { return Status::OK(); }
+  uint8_t Predict(const DataView& view, size_t i) const override {
+    // Correct prediction iff p_ == 3 (the "good" setting); else constant 0.
+    return p_ == 3.0 ? view.label(i) : 0;
+  }
+  std::string name() const override { return "tunable"; }
+
+ private:
+  double p_;
+};
+
+TEST(GridSearchTest, PicksBestValidationConfig) {
+  Dataset d = MakeLabeled({1, 1, 1, 0});
+  DataView train(&d, {0, 1}, {0});
+  DataView val(&d, {2, 3}, {0});
+  ParamGrid grid;
+  grid.Add("p", {1, 2, 3, 4});
+  Result<GridSearchResult> r = GridSearch(
+      [](const ParamMap& p) {
+        return std::make_unique<TunableModel>(p.at("p"));
+      },
+      grid, train, val);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value().best_params.at("p"), 3.0);
+  EXPECT_DOUBLE_EQ(r.value().best_val_accuracy, 1.0);
+  EXPECT_EQ(r.value().configurations_tried, 4u);
+}
+
+TEST(GridSearchTest, EmptyTrainFails) {
+  Dataset d = MakeLabeled({1});
+  DataView train(&d, {}, {0});
+  DataView val(&d, {0}, {0});
+  Result<GridSearchResult> r = GridSearch(
+      [](const ParamMap&) { return std::make_unique<ConstantModel>(1); },
+      ParamGrid(), train, val);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(GridSearchTest, TiesGoToFirstEnumerated) {
+  Dataset d = MakeLabeled({1, 1});
+  DataView train(&d, {0}, {0});
+  DataView val(&d, {1}, {0});
+  ParamGrid grid;
+  grid.Add("p", {7, 8});
+  Result<GridSearchResult> r = GridSearch(
+      [](const ParamMap&) { return std::make_unique<ConstantModel>(1); },
+      grid, train, val);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value().best_params.at("p"), 7.0);
+}
+
+TEST(GridSearchTest, WorksWithRealTree) {
+  Rng rng(1);
+  Dataset d({{"sig", 2, FeatureRole::kHome, -1}});
+  for (int i = 0; i < 200; ++i) {
+    const uint32_t s = static_cast<uint32_t>(rng.UniformInt(2));
+    d.AppendRowUnchecked({s}, static_cast<uint8_t>(s));
+  }
+  TrainValTest split = SplitRows(200, 0.5, 0.25, 2);
+  SplitViews views = MakeSplitViews(d, split, {0});
+  ParamGrid grid;
+  grid.Add("minsplit", {1, 10}).Add("cp", {0.0, 0.01});
+  Result<GridSearchResult> r = GridSearch(
+      [](const ParamMap& p) {
+        DecisionTreeConfig cfg;
+        cfg.minsplit = static_cast<size_t>(p.at("minsplit"));
+        cfg.cp = p.at("cp");
+        return std::make_unique<DecisionTree>(cfg);
+      },
+      grid, views.train, views.val);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value().best_val_accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(Accuracy(*r.value().best_model, views.test), 1.0);
+}
+
+// --------------------------------------------------------- bias-variance --
+
+TEST(BiasVarianceTest, ZeroVarianceWhenRunsAgree) {
+  std::vector<std::vector<uint8_t>> runs = {{1, 0, 1}, {1, 0, 1}};
+  std::vector<uint8_t> labels = {1, 0, 0};
+  Result<BiasVariance> r = DecomposePredictions(runs, labels, labels);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value().variance, 0.0);
+  EXPECT_DOUBLE_EQ(r.value().net_variance, 0.0);
+  // One of three points is mispredicted by the (stable) main prediction.
+  EXPECT_NEAR(r.value().bias, 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(r.value().mean_error, 1.0 / 3.0, 1e-12);
+}
+
+TEST(BiasVarianceTest, UnbiasedVarianceIsPositiveNetVariance) {
+  // Point 0: main = 1 (3 of 4 runs), optimal = 1 -> unbiased, var = 0.25.
+  std::vector<std::vector<uint8_t>> runs = {{1}, {1}, {1}, {0}};
+  std::vector<uint8_t> labels = {1};
+  Result<BiasVariance> r = DecomposePredictions(runs, labels, labels);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value().bias, 0.0);
+  EXPECT_DOUBLE_EQ(r.value().variance_unbiased, 0.25);
+  EXPECT_DOUBLE_EQ(r.value().net_variance, 0.25);
+}
+
+TEST(BiasVarianceTest, BiasedVarianceReducesNetVariance) {
+  // Main = 0 (3 of 4 runs) but optimal = 1 -> biased point; its variance
+  // contributes negatively (disagreeing runs are actually right).
+  std::vector<std::vector<uint8_t>> runs = {{0}, {0}, {0}, {1}};
+  std::vector<uint8_t> labels = {1};
+  Result<BiasVariance> r = DecomposePredictions(runs, labels, labels);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value().bias, 1.0);
+  EXPECT_DOUBLE_EQ(r.value().variance_biased, 0.25);
+  EXPECT_DOUBLE_EQ(r.value().net_variance, -0.25);
+}
+
+TEST(BiasVarianceTest, DomingosIdentityHoldsWithoutNoise) {
+  // With y* == labels (no Bayes noise), E[error] = bias + net variance.
+  Rng rng(11);
+  const size_t points = 50, runs = 9;
+  std::vector<uint8_t> labels(points);
+  for (auto& y : labels) y = static_cast<uint8_t>(rng.UniformInt(2));
+  std::vector<std::vector<uint8_t>> preds(runs,
+                                          std::vector<uint8_t>(points));
+  for (auto& run : preds) {
+    for (size_t i = 0; i < points; ++i) {
+      run[i] = rng.Bernoulli(0.3) ? static_cast<uint8_t>(1 - labels[i])
+                                  : labels[i];
+    }
+  }
+  Result<BiasVariance> r = DecomposePredictions(preds, labels, labels);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.value().mean_error,
+              r.value().bias + r.value().net_variance, 1e-9);
+}
+
+TEST(BiasVarianceTest, ValidatesInput) {
+  EXPECT_FALSE(DecomposePredictions({}, {1}, {1}).ok());
+  EXPECT_FALSE(DecomposePredictions({{1, 0}}, {1}, {1}).ok());
+  EXPECT_FALSE(DecomposePredictions({{1}}, {1}, {1, 0}).ok());
+}
+
+TEST(BiasVarianceTest, MonteCarloDriverRunsCallback) {
+  std::vector<uint8_t> labels = {1, 0};
+  size_t calls = 0;
+  Result<BiasVariance> r = MonteCarloBiasVariance(
+      5,
+      [&](size_t) {
+        ++calls;
+        return std::vector<uint8_t>{1, 0};
+      },
+      labels, labels);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(calls, 5u);
+  EXPECT_DOUBLE_EQ(r.value().mean_error, 0.0);
+  EXPECT_EQ(r.value().num_runs, 5u);
+}
+
+}  // namespace
+}  // namespace ml
+}  // namespace hamlet

@@ -1,0 +1,177 @@
+// Integration/property tests reproducing the paper's simulation claims at
+// small scale: NoJoin tracks JoinAll for high-capacity models at healthy
+// tuple ratios, across all three scenarios (OneXr, XSXR, RepOneXr).
+
+#include <gtest/gtest.h>
+
+#include "hamlet/core/experiment.h"
+#include "hamlet/core/variants.h"
+#include "hamlet/data/split.h"
+#include "hamlet/ml/knn/one_nn.h"
+#include "hamlet/ml/metrics.h"
+#include "hamlet/ml/tree/decision_tree.h"
+#include "hamlet/synth/onexr.h"
+#include "hamlet/synth/reponexr.h"
+#include "hamlet/synth/xsxr.h"
+
+namespace hamlet {
+namespace core {
+namespace {
+
+/// Trains a gini tree on the variant and returns holdout error, averaged
+/// over `runs` freshly sampled datasets (cheap Monte Carlo).
+template <typename MakeStar>
+double AvgTreeError(MakeStar make_star, FeatureVariant variant,
+                    size_t runs) {
+  double total = 0.0;
+  for (size_t r = 0; r < runs; ++r) {
+    StarSchema star = make_star(r);
+    Result<PreparedData> prepared = Prepare(star, 1000 + r);
+    EXPECT_TRUE(prepared.ok());
+    const PreparedData& p = prepared.value();
+    SplitViews views = MakeSplitViews(
+        p.data, p.split, SelectVariant(p.data, variant));
+    ml::DecisionTree tree({.minsplit = 10, .cp = 0.001});
+    EXPECT_TRUE(tree.Fit(views.train).ok());
+    total += ml::ErrorRate(tree, views.test);
+  }
+  return total / static_cast<double>(runs);
+}
+
+TEST(SimulationOneXr, NoJoinMatchesJoinAllAtHighTupleRatio) {
+  auto make = [](size_t r) {
+    synth::OneXrConfig cfg;
+    cfg.ns = 1000;
+    cfg.nr = 40;  // tuple ratio 25 on the training half
+    cfg.seed = 50 + r;
+    return synth::GenerateOneXr(cfg);
+  };
+  const double err_join = AvgTreeError(make, FeatureVariant::kJoinAll, 5);
+  const double err_nojoin = AvgTreeError(make, FeatureVariant::kNoJoin, 5);
+  // Figure 2's core result: the curves coincide near the Bayes error 0.1.
+  EXPECT_NEAR(err_nojoin, err_join, 0.035);
+  EXPECT_LT(err_nojoin, 0.2);
+}
+
+TEST(SimulationOneXr, NoJoinStillFineAtTupleRatioThree) {
+  // The paper's headline: "even for a tuple ratio of just 3, NoJoin and
+  // JoinAll have similar errors with the decision tree" (Figure 2(B)).
+  auto make = [](size_t r) {
+    synth::OneXrConfig cfg;
+    cfg.ns = 1000;
+    cfg.nr = 170;  // ~500 train rows / 170 FK values ~ 3
+    cfg.seed = 80 + r;
+    return synth::GenerateOneXr(cfg);
+  };
+  const double err_join = AvgTreeError(make, FeatureVariant::kJoinAll, 5);
+  const double err_nojoin = AvgTreeError(make, FeatureVariant::kNoJoin, 5);
+  EXPECT_NEAR(err_nojoin, err_join, 0.05);
+}
+
+TEST(SimulationOneXr, FkSkewDoesNotWidenTheGap) {
+  // Figure 5: Zipfian FK skew leaves NoJoin ~ JoinAll for the tree.
+  auto make = [](size_t r) {
+    synth::OneXrConfig cfg;
+    cfg.ns = 1000;
+    cfg.nr = 40;
+    cfg.skew = synth::FkSkew::kZipf;
+    cfg.skew_param = 2.0;
+    cfg.seed = 110 + r;
+    return synth::GenerateOneXr(cfg);
+  };
+  const double err_join = AvgTreeError(make, FeatureVariant::kJoinAll, 5);
+  const double err_nojoin = AvgTreeError(make, FeatureVariant::kNoJoin, 5);
+  EXPECT_NEAR(err_nojoin, err_join, 0.04);
+}
+
+TEST(SimulationXsxr, NoJoinMatchesJoinAll) {
+  // Figure 6: even with the whole [X_S, X_R] determining Y, NoJoin's FK
+  // representation keeps up with JoinAll.
+  auto make = [](size_t r) {
+    synth::XsxrConfig cfg;
+    cfg.ns = 1000;
+    cfg.nr = 40;
+    cfg.ds = 4;
+    cfg.dr = 4;
+    cfg.seed = 140 + r;
+    return synth::GenerateXsxr(cfg);
+  };
+  const double err_join = AvgTreeError(make, FeatureVariant::kJoinAll, 5);
+  const double err_nojoin = AvgTreeError(make, FeatureVariant::kNoJoin, 5);
+  EXPECT_NEAR(err_nojoin, err_join, 0.06);
+}
+
+TEST(SimulationRepOneXr, ReplicatedXrDoesNotConfuseTheTree) {
+  // Figure 7(A): dr replicas of Xr, tuple ratio 25 -> NoJoin ~ JoinAll.
+  auto make = [](size_t r) {
+    synth::RepOneXrConfig cfg;
+    cfg.ns = 1000;
+    cfg.nr = 40;
+    cfg.dr = 8;
+    cfg.seed = 170 + r;
+    return synth::GenerateRepOneXr(cfg);
+  };
+  const double err_join = AvgTreeError(make, FeatureVariant::kJoinAll, 5);
+  const double err_nojoin = AvgTreeError(make, FeatureVariant::kNoJoin, 5);
+  EXPECT_NEAR(err_nojoin, err_join, 0.04);
+}
+
+TEST(SimulationOneXr, TreeUsesFkHeavilyUnderNoJoin) {
+  // §4.1's inspection: under NoJoin, FK dominates the partitioning because
+  // it functionally determines Xr.
+  synth::OneXrConfig cfg;
+  cfg.ns = 1000;
+  cfg.nr = 40;
+  cfg.seed = 200;
+  StarSchema star = synth::GenerateOneXr(cfg);
+  Result<PreparedData> prepared = Prepare(star, 201);
+  ASSERT_TRUE(prepared.ok());
+  const PreparedData& p = prepared.value();
+  const auto features = SelectVariant(p.data, FeatureVariant::kNoJoin);
+  SplitViews views = MakeSplitViews(p.data, p.split, features);
+  ml::DecisionTree tree({.minsplit = 10, .cp = 0.001});
+  ASSERT_TRUE(tree.Fit(views.train).ok());
+  const std::vector<size_t> use = tree.FeatureUseCounts();
+  // Find the FK feature's index within the NoJoin view.
+  size_t fk_view_index = features.size();
+  for (size_t j = 0; j < features.size(); ++j) {
+    if (p.data.feature_spec(features[j]).role == FeatureRole::kForeignKey) {
+      fk_view_index = j;
+    }
+  }
+  ASSERT_LT(fk_view_index, features.size());
+  size_t others = 0;
+  for (size_t j = 0; j < use.size(); ++j) {
+    if (j != fk_view_index) others += use[j];
+  }
+  EXPECT_GE(use[fk_view_index], 1u);
+  EXPECT_GE(use[fk_view_index], others);  // FK at least ties everything else
+}
+
+TEST(Simulation1Nn, UnstableAtLowTupleRatio) {
+  // Figure 3(A): 1-NN deviates from JoinAll far earlier than the tree.
+  // At nr = 250 (train tuple ratio ~2), NoJoin-1NN should be clearly worse
+  // than NoFK-1NN (which sees Xr directly).
+  synth::OneXrConfig cfg;
+  cfg.ns = 1000;
+  cfg.nr = 250;
+  cfg.ds = 4;
+  cfg.seed = 230;
+  StarSchema star = synth::GenerateOneXr(cfg);
+  Result<PreparedData> prepared = Prepare(star, 231);
+  ASSERT_TRUE(prepared.ok());
+  const PreparedData& p = prepared.value();
+  auto error_for = [&](FeatureVariant v) {
+    SplitViews views =
+        MakeSplitViews(p.data, p.split, SelectVariant(p.data, v));
+    ml::OneNearestNeighbor knn;
+    EXPECT_TRUE(knn.Fit(views.train).ok());
+    return ml::ErrorRate(knn, views.test);
+  };
+  EXPECT_GT(error_for(FeatureVariant::kNoJoin),
+            error_for(FeatureVariant::kNoFK));
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace hamlet

@@ -1,0 +1,273 @@
+// Tests for hamlet/ml/svm: kernels, SMO solver, C-SVC classifier.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hamlet/common/rng.h"
+#include "hamlet/data/dataset.h"
+#include "hamlet/data/view.h"
+#include "hamlet/ml/metrics.h"
+#include "hamlet/ml/svm/kernel.h"
+#include "hamlet/ml/svm/smo.h"
+#include "hamlet/ml/svm/svm.h"
+
+namespace hamlet {
+namespace ml {
+namespace {
+
+// ---------------------------------------------------------------- kernel --
+
+TEST(KernelTest, MatchCount) {
+  const uint32_t a[] = {1, 2, 3, 4};
+  const uint32_t b[] = {1, 0, 3, 0};
+  EXPECT_EQ(MatchCount(a, b, 4), 2u);
+  EXPECT_EQ(MatchCount(a, a, 4), 4u);
+}
+
+TEST(KernelTest, LinearEqualsMatchFraction) {
+  KernelConfig cfg{KernelType::kLinear, 0.0, 2};
+  const uint32_t a[] = {1, 2, 3};
+  const uint32_t b[] = {1, 2, 0};
+  EXPECT_DOUBLE_EQ(KernelEval(cfg, a, b, 3), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(KernelEval(cfg, a, a, 3), 1.0);
+}
+
+TEST(KernelTest, PolyIsSquaredScaledDot) {
+  KernelConfig cfg{KernelType::kPoly, 0.5, 2};
+  const uint32_t a[] = {7, 7};
+  const uint32_t b[] = {7, 7};
+  // matches=2, (0.5*2)^2 = 1.
+  EXPECT_DOUBLE_EQ(KernelEval(cfg, a, b, 2), 1.0);
+}
+
+TEST(KernelTest, RbfIdentityAndDecay) {
+  KernelConfig cfg{KernelType::kRbf, 0.1, 2};
+  const uint32_t a[] = {1, 2, 3};
+  const uint32_t b[] = {1, 2, 9};
+  EXPECT_DOUBLE_EQ(KernelEval(cfg, a, a, 3), 1.0);
+  // one mismatch: exp(-0.1 * 2).
+  EXPECT_NEAR(KernelEval(cfg, a, b, 3), std::exp(-0.2), 1e-12);
+}
+
+TEST(KernelTest, RbfMonotoneInMismatches) {
+  KernelConfig cfg{KernelType::kRbf, 0.3, 2};
+  const uint32_t a[] = {0, 0, 0, 0};
+  const uint32_t one[] = {9, 0, 0, 0};
+  const uint32_t two[] = {9, 9, 0, 0};
+  EXPECT_GT(KernelEval(cfg, a, one, 4), KernelEval(cfg, a, two, 4));
+}
+
+TEST(KernelTest, GramIsSymmetricWithUnitDiagonalForRbf) {
+  Rng rng(3);
+  const size_t n = 20, d = 5;
+  std::vector<uint32_t> rows(n * d);
+  for (auto& v : rows) v = static_cast<uint32_t>(rng.UniformInt(4));
+  KernelConfig cfg{KernelType::kRbf, 0.2, 2};
+  const std::vector<float> gram = ComputeGram(cfg, rows, n, d);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_FLOAT_EQ(gram[i * n + i], 1.0f);
+    for (size_t j = 0; j < n; ++j) {
+      EXPECT_FLOAT_EQ(gram[i * n + j], gram[j * n + i]);
+    }
+  }
+}
+
+// ------------------------------------------------------------------- SMO --
+
+TEST(SmoTest, RejectsBadInput) {
+  EXPECT_FALSE(SolveSmo({}, {}, {}).ok());
+  std::vector<float> gram = {1.0f};
+  EXPECT_FALSE(SolveSmo(gram, {2}, {}).ok());  // bad label
+}
+
+TEST(SmoTest, SingleClassDegenerates) {
+  std::vector<float> gram = {1.0f, 0.0f, 0.0f, 1.0f};
+  Result<SmoSolution> sol = SolveSmo(gram, {1, 1}, {});
+  ASSERT_TRUE(sol.ok());
+  EXPECT_TRUE(sol.value().converged);
+  EXPECT_EQ(sol.value().num_support_vectors, 0u);
+}
+
+TEST(SmoTest, SolvesTwoPointProblem) {
+  // Two points, k(x,x)=1, k(x,z)=0, labels +1/-1: symmetric solution with
+  // alpha_1 = alpha_2 (equality constraint) and margin at both points.
+  std::vector<float> gram = {1.0f, 0.0f, 0.0f, 1.0f};
+  SmoConfig cfg;
+  cfg.C = 10.0;
+  Result<SmoSolution> sol = SolveSmo(gram, {1, -1}, cfg);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_TRUE(sol.value().converged);
+  EXPECT_NEAR(sol.value().alpha[0], sol.value().alpha[1], 1e-6);
+  EXPECT_GT(sol.value().alpha[0], 0.0);
+  // f(x1) = alpha1*k11 - alpha2*k21 + b = alpha1 + b should be ~ +1.
+  const double f1 = sol.value().alpha[0] + sol.value().bias;
+  EXPECT_NEAR(f1, 1.0, 0.01);
+}
+
+TEST(SmoTest, AlphasRespectBoxAndEqualityConstraints) {
+  Rng rng(9);
+  const size_t n = 60, d = 6;
+  std::vector<uint32_t> rows(n * d);
+  for (auto& v : rows) v = static_cast<uint32_t>(rng.UniformInt(3));
+  std::vector<int8_t> y(n);
+  for (size_t i = 0; i < n; ++i) y[i] = rng.Bernoulli(0.5) ? 1 : -1;
+  KernelConfig kc{KernelType::kRbf, 0.3, 2};
+  SmoConfig cfg;
+  cfg.C = 2.0;
+  Result<SmoSolution> sol =
+      SolveSmo(ComputeGram(kc, rows, n, d), y, cfg);
+  ASSERT_TRUE(sol.ok());
+  double eq = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_GE(sol.value().alpha[i], -1e-9);
+    EXPECT_LE(sol.value().alpha[i], cfg.C + 1e-9);
+    eq += sol.value().alpha[i] * y[i];
+  }
+  EXPECT_NEAR(eq, 0.0, 1e-6);
+}
+
+// ------------------------------------------------------------------- SVM --
+
+Dataset MakeSeparable(size_t n, uint64_t seed) {
+  // Feature 0 in {0,1} decides the label; feature 1 is noise.
+  Dataset d({{"sig", 2, FeatureRole::kHome, -1},
+             {"noise", 3, FeatureRole::kHome, -1}});
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t s = static_cast<uint32_t>(rng.UniformInt(2));
+    d.AppendRowUnchecked({s, static_cast<uint32_t>(rng.UniformInt(3))},
+                         static_cast<uint8_t>(s));
+  }
+  return d;
+}
+
+Dataset MakeXor(size_t n, uint64_t seed) {
+  Dataset d({{"a", 2, FeatureRole::kHome, -1},
+             {"b", 2, FeatureRole::kHome, -1}});
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t a = static_cast<uint32_t>(rng.UniformInt(2));
+    const uint32_t b = static_cast<uint32_t>(rng.UniformInt(2));
+    d.AppendRowUnchecked({a, b}, static_cast<uint8_t>(a ^ b));
+  }
+  return d;
+}
+
+TEST(KernelSvmTest, LinearSeparatesLinearlySeparableData) {
+  Dataset data = MakeSeparable(200, 1);
+  DataView view(&data);
+  SvmConfig cfg;
+  cfg.kernel.type = KernelType::kLinear;
+  cfg.C = 10.0;
+  KernelSvm svm(cfg);
+  ASSERT_TRUE(svm.Fit(view).ok());
+  EXPECT_DOUBLE_EQ(Accuracy(svm, view), 1.0);
+}
+
+TEST(KernelSvmTest, RbfLearnsXor) {
+  Dataset data = MakeXor(200, 2);
+  DataView view(&data);
+  SvmConfig cfg;
+  cfg.kernel.type = KernelType::kRbf;
+  cfg.kernel.gamma = 1.0;
+  cfg.C = 10.0;
+  KernelSvm svm(cfg);
+  ASSERT_TRUE(svm.Fit(view).ok());
+  EXPECT_DOUBLE_EQ(Accuracy(svm, view), 1.0);
+}
+
+TEST(KernelSvmTest, PolyLearnsXor) {
+  Dataset data = MakeXor(200, 3);
+  DataView view(&data);
+  SvmConfig cfg;
+  cfg.kernel.type = KernelType::kPoly;
+  cfg.kernel.gamma = 1.0;
+  cfg.C = 10.0;
+  KernelSvm svm(cfg);
+  ASSERT_TRUE(svm.Fit(view).ok());
+  EXPECT_GE(Accuracy(svm, view), 0.95);
+}
+
+TEST(KernelSvmTest, SingleClassPredictsThatClass) {
+  Dataset d({{"f", 2, FeatureRole::kHome, -1}});
+  for (int i = 0; i < 10; ++i) {
+    d.AppendRowUnchecked({static_cast<uint32_t>(i % 2)}, 1);
+  }
+  KernelSvm svm;
+  ASSERT_TRUE(svm.Fit(DataView(&d)).ok());
+  EXPECT_EQ(svm.Predict(DataView(&d), 0), 1);
+}
+
+TEST(KernelSvmTest, MaxTrainRowsCapsProblemSize) {
+  Dataset data = MakeSeparable(500, 4);
+  DataView view(&data);
+  SvmConfig cfg;
+  cfg.kernel.type = KernelType::kLinear;
+  cfg.max_train_rows = 50;
+  KernelSvm svm(cfg);
+  ASSERT_TRUE(svm.Fit(view).ok());
+  EXPECT_LE(svm.num_support_vectors(), 50u);
+  EXPECT_GE(Accuracy(svm, view), 0.99);  // still separable
+}
+
+TEST(KernelSvmTest, DecisionValueSignMatchesPrediction) {
+  Dataset data = MakeSeparable(100, 5);
+  DataView view(&data);
+  KernelSvm svm({{KernelType::kRbf, 0.5, 2}, 1.0, 1e-3, 20000, 0});
+  ASSERT_TRUE(svm.Fit(view).ok());
+  for (size_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(svm.Predict(view, i), svm.DecisionValue(view, i) >= 0 ? 1 : 0);
+  }
+}
+
+TEST(KernelSvmTest, EmptyTrainingFails) {
+  Dataset data = MakeSeparable(10, 6);
+  DataView empty(&data, {}, {0, 1});
+  KernelSvm svm;
+  EXPECT_FALSE(svm.Fit(empty).ok());
+}
+
+TEST(KernelSvmTest, Names) {
+  SvmConfig lin;
+  lin.kernel.type = KernelType::kLinear;
+  EXPECT_EQ(KernelSvm(lin).name(), "svm-linear");
+  SvmConfig rbf;
+  rbf.kernel.type = KernelType::kRbf;
+  EXPECT_EQ(KernelSvm(rbf).name(), "svm-rbf");
+}
+
+// Parameterised generalisation sweep: for several (C, gamma) settings the
+// RBF-SVM must beat majority guessing out of sample on learnable data.
+class SvmGridTest
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(SvmGridTest, GeneralisesAboveMajority) {
+  const auto [C, gamma] = GetParam();
+  Dataset train = MakeXor(300, 7);
+  Dataset test = MakeXor(200, 8);
+  SvmConfig cfg;
+  cfg.kernel.type = KernelType::kRbf;
+  cfg.kernel.gamma = gamma;
+  cfg.C = C;
+  KernelSvm svm(cfg);
+  ASSERT_TRUE(svm.Fit(DataView(&train)).ok());
+  const double acc = Accuracy(svm, DataView(&test));
+  // The weakest grid corner (C=0.1, gamma=0.1) legitimately underfits XOR
+  // (too little capacity); it must still be stable. All stronger settings
+  // must actually learn the concept.
+  if (C * gamma <= 0.011) {
+    EXPECT_GE(acc, 0.45);
+  } else {
+    EXPECT_GT(acc, 0.9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperGridCorners, SvmGridTest,
+    ::testing::Combine(::testing::Values(0.1, 1.0, 100.0),
+                       ::testing::Values(0.1, 1.0)));
+
+}  // namespace
+}  // namespace ml
+}  // namespace hamlet
