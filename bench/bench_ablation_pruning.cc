@@ -26,6 +26,12 @@ void Sweep(size_t nr) {
   cfg.seed = 515;
   StarSchema star = synth::GenerateOneXr(cfg);
   Result<core::PreparedData> prepared = core::Prepare(star, 516);
+  if (!prepared.ok()) {
+    std::printf("prepare(nR=%zu) failed: %s\n", nr,
+                prepared.status().ToString().c_str());
+    bench::ReportFailure();
+    return;
+  }
   const core::PreparedData& p = prepared.value();
   SplitViews views = MakeSplitViews(
       p.data, p.split,
@@ -59,5 +65,5 @@ int main() {
       "(0.1) — the robustness result does not hinge on tuning. At nR=250\n"
       "unpruned trees overfit FK (train error ~0, test error high); cp\n"
       ">= 0.01 or minsplit >= 100 recovers part of the gap.\n");
-  return 0;
+  return bench::ExitCode();
 }

@@ -23,9 +23,21 @@ using namespace hamlet;
 
 void Sweep(const char* dataset) {
   auto spec = synth::RealWorldSpecByName(dataset, bench::DataScale());
+  if (!spec.ok()) {
+    std::printf("--- %s --- spec failed: %s\n", dataset,
+                spec.status().ToString().c_str());
+    bench::ReportFailure();
+    return;
+  }
   StarSchema star = synth::GenerateRealWorld(spec.value());
   Result<core::PreparedData> prepared = core::Prepare(
       star, 2024, synth::RealWorldJoinOptions(spec.value()));
+  if (!prepared.ok()) {
+    std::printf("--- %s --- prepare failed: %s\n", dataset,
+                prepared.status().ToString().c_str());
+    bench::ReportFailure();
+    return;
+  }
   const core::PreparedData& p = prepared.value();
   DataView full_train(&p.data, p.split.train, [&] {
     std::vector<uint32_t> all(p.data.num_features());
@@ -64,5 +76,5 @@ int main() {
       "Expected: on Yelp (tuple ratio 2.5 on users) accuracy rises with k\n"
       "— a few foreign features close most of the NoJoin gap; on LastFM\n"
       "(per-RID signal) the curve is flat and k = 0 suffices.\n");
-  return 0;
+  return bench::ExitCode();
 }

@@ -33,24 +33,45 @@ double AccuracyWithBudget(const core::PreparedData& prepared,
       DataView train(&copy, prepared.split.train, {col});
       Result<core::DomainMapping> r =
           core::BuildSortedEntropyMapping(train, 0, budget);
-      if (!r.ok()) return -1.0;
+      if (!r.ok()) {
+        bench::ReportFailure();
+        return -1.0;
+      }
       map = std::move(r).value();
     }
-    if (!core::ApplyMapping(copy, col, map).ok()) return -1.0;
+    if (!core::ApplyMapping(copy, col, map).ok()) {
+      bench::ReportFailure();
+      return -1.0;
+    }
   }
   SplitViews views =
       MakeSplitViews(copy, prepared.split,
                      core::SelectVariant(copy, core::FeatureVariant::kNoJoin));
   ml::DecisionTree tree({.minsplit = 10, .cp = 0.001});
-  if (!tree.Fit(views.train).ok()) return -1.0;
+  if (!tree.Fit(views.train).ok()) {
+    bench::ReportFailure();
+    return -1.0;
+  }
   return ml::Accuracy(tree, views.test);
 }
 
 void RunDataset(const char* name) {
   auto spec = synth::RealWorldSpecByName(name, bench::DataScale());
+  if (!spec.ok()) {
+    std::printf("--- %s --- spec failed: %s\n", name,
+                spec.status().ToString().c_str());
+    bench::ReportFailure();
+    return;
+  }
   StarSchema star = synth::GenerateRealWorld(spec.value());
   Result<core::PreparedData> prepared = core::Prepare(
       star, 1234, synth::RealWorldJoinOptions(spec.value()));
+  if (!prepared.ok()) {
+    std::printf("--- %s --- prepare failed: %s\n", name,
+                prepared.status().ToString().c_str());
+    bench::ReportFailure();
+    return;
+  }
   const core::PreparedData& p = prepared.value();
 
   std::printf("--- %s ---\n", name);
@@ -94,5 +115,5 @@ int main() {
       "Expected shape (paper Fig. 10): Sort-based >= Random, gap largest at\n"
       "small budgets; compressed accuracy close to (or on Yelp above) the\n"
       "uncompressed reference.\n");
-  return 0;
+  return bench::ExitCode();
 }

@@ -28,6 +28,10 @@ double ErrorWithSmoothing(double gamma, core::SmoothingMethod method,
   cfg.seed = seed;
   StarSchema star = synth::GenerateOneXr(cfg);
   Result<core::PreparedData> prepared = core::Prepare(star, seed + 1);
+  if (!prepared.ok()) {
+    bench::ReportFailure();
+    return -1.0;
+  }
   core::PreparedData& p = prepared.value();
 
   // Move rows whose FK < gamma*nr out of the training split (into test)
@@ -52,17 +56,24 @@ double ErrorWithSmoothing(double gamma, core::SmoothingMethod method,
       method == core::SmoothingMethod::kRandom
           ? core::BuildRandomSmoothing(seen, seed + 2)
           : core::BuildXrSmoothing(seen, star.dimension(0).table);
-  if (!map.ok()) return -1.0;
+  if (!map.ok()) {
+    bench::ReportFailure();
+    return -1.0;
+  }
   if (!core::ApplySmoothing(p.data, static_cast<size_t>(fk_col),
                             map.value())
            .ok()) {
+    bench::ReportFailure();
     return -1.0;
   }
 
   SplitViews views = MakeSplitViews(p.data, p.split,
                                     core::SelectVariant(p.data, variant));
   ml::DecisionTree tree({.minsplit = 10, .cp = 0.001});
-  if (!tree.Fit(views.train).ok()) return -1.0;
+  if (!tree.Fit(views.train).ok()) {
+    bench::ReportFailure();
+    return -1.0;
+  }
   return ml::ErrorRate(tree, views.test);
 }
 
@@ -102,5 +113,5 @@ int main() {
       "Expected shape (paper Fig. 11): X_R-based smoothing holds errors\n"
       "near the Bayes error (0.1) for gamma < 0.5 and degrades slower than\n"
       "random reassignment as gamma -> 1.\n");
-  return 0;
+  return bench::ExitCode();
 }

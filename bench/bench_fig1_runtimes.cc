@@ -41,14 +41,18 @@ void RunEndToEnd(benchmark::State& state, const std::string& dataset,
   const core::PreparedData& prepared = PreparedFor(dataset);
   for (auto _ : state) {
     Result<core::VariantResult> r =
-        core::RunVariant(prepared, kind, variant, core::EffortFromEnv());
-    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+        core::RunVariant(prepared, kind, variant, bench::EffortFromMode());
+    if (!r.ok()) {
+      // SkipWithError only annotates the report; flag the process too.
+      bench::ReportFailure();
+      state.SkipWithError(r.status().ToString().c_str());
+    }
     benchmark::DoNotOptimize(r);
   }
 }
 
 void RegisterAll() {
-  const std::vector<std::pair<std::string, core::ModelKind>> models = {
+  std::vector<std::pair<std::string, core::ModelKind>> models = {
       {"dt_gini", core::ModelKind::kTreeGini},
       {"1nn", core::ModelKind::kOneNn},
       {"svm_rbf", core::ModelKind::kSvmRbf},
@@ -57,8 +61,15 @@ void RegisterAll() {
       {"logreg_l1", core::ModelKind::kLogRegL1},
   };
   // The paper's dataset-letter order: W E F Y M L B.
-  const std::vector<std::string> datasets = {
+  std::vector<std::string> datasets = {
       "Walmart", "Expedia", "Flights", "Yelp", "Movies", "LastFM", "Books"};
+  if (bench::IsSmokeMode()) {
+    // Smoke: one cheap and one expensive family on two datasets, just to
+    // keep the end-to-end path (generate -> prepare -> grid search) alive.
+    models = {{"dt_gini", core::ModelKind::kTreeGini},
+              {"nb_bfs", core::ModelKind::kNaiveBayesBackward}};
+    datasets = {"Walmart", "Yelp"};
+  }
   for (const auto& [mname, kind] : models) {
     for (const auto& ds : datasets) {
       for (auto variant : {core::FeatureVariant::kJoinAll,
@@ -89,5 +100,5 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  return 0;
+  return bench::ExitCode();
 }

@@ -112,5 +112,5 @@ int main() {
       "Expected shape (paper Fig. 2): JoinAll ~ NoJoin everywhere, near the\n"
       "Bayes error min(p, 1-p); errors rise for both only when nS is tiny\n"
       "or nR huge (tuple ratio < ~3), where NoFK is better.\n");
-  return 0;
+  return bench::ExitCode();
 }

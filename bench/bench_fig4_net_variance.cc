@@ -57,5 +57,5 @@ int main() {
   std::printf(
       "Expected shape (paper Fig. 4): NoJoin net variance rises with nR for\n"
       "the RBF-SVM (the extra overfitting); 1-NN's curve is non-monotonic.\n");
-  return 0;
+  return bench::ExitCode();
 }

@@ -93,5 +93,5 @@ int main() {
   std::printf(
       "Expected shape (paper Fig. 5): the NoJoin-JoinAll gap stays flat\n"
       "under both skew families; NoFK wins only at very small nS.\n");
-  return 0;
+  return bench::ExitCode();
 }

@@ -87,5 +87,5 @@ int main() {
   std::printf(
       "Expected shape (paper Fig. 6): NoJoin ~ JoinAll in every panel (max\n"
       "gap ~0.02); NoFK stays flat as nR rises; gaps close as nS grows.\n");
-  return 0;
+  return bench::ExitCode();
 }

@@ -59,5 +59,5 @@ int main() {
   std::printf(
       "Expected shape (paper Fig. 7): JoinAll ~ NoJoin at both tuple\n"
       "ratios, for every dR.\n");
-  return 0;
+  return bench::ExitCode();
 }

@@ -55,5 +55,5 @@ int main() {
   std::printf(
       "Expected shape (paper Fig. 9): 1-NN NoJoin deviates from JoinAll\n"
       "already in (A); both trail NoFK badly in (B).\n");
-  return 0;
+  return bench::ExitCode();
 }

@@ -37,6 +37,12 @@ void NearestNeighbourFkMatch() {
     cfg.seed = 424;
     StarSchema star = synth::GenerateOneXr(cfg);
     Result<core::PreparedData> prepared = core::Prepare(star, 425);
+    if (!prepared.ok()) {
+      std::printf("prepare(nR=%zu) failed: %s\n", nr,
+                  prepared.status().ToString().c_str());
+      bench::ReportFailure();
+      continue;
+    }
     const core::PreparedData& p = prepared.value();
     const auto features =
         core::SelectVariant(p.data, core::FeatureVariant::kNoJoin);
@@ -100,6 +106,12 @@ void TreeFkUsage() {
       cfg.seed = 626;
       StarSchema star = synth::GenerateOneXr(cfg);
       Result<core::PreparedData> prepared = core::Prepare(star, 627);
+      if (!prepared.ok()) {
+        std::printf("prepare(nR=%zu) failed: %s\n", nr,
+                    prepared.status().ToString().c_str());
+        bench::ReportFailure();
+        continue;
+      }
       const core::PreparedData& p = prepared.value();
       const auto features = core::SelectVariant(p.data, variant);
       SplitViews views = MakeSplitViews(p.data, p.split, features);
@@ -133,5 +145,5 @@ int main() {
   bench::PrintHeader("Section 5 analysis: FK-match and FK-usage diagnostics");
   NearestNeighbourFkMatch();
   TreeFkUsage();
-  return 0;
+  return bench::ExitCode();
 }

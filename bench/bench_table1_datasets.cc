@@ -15,7 +15,7 @@ int main() {
 
   std::printf("%-10s %-14s %-3s %-16s %-12s\n", "Dataset", "(nS, dS)", "q",
               "(nR, dR)", "TupleRatio");
-  for (const auto& spec : synth::AllRealWorldSpecs(bench::DataScale())) {
+  for (const auto& spec : bench::BenchSpecs()) {
     StarSchema star = synth::GenerateRealWorld(spec);
     std::printf("%-10s (%zu, %zu)%*s %-3zu", spec.name.c_str(), spec.ns,
                 spec.ds, static_cast<int>(6 - std::to_string(spec.ns).size()),
@@ -38,5 +38,5 @@ int main() {
       "\nTuple ratio = 0.5 * nS / nR (against the training split), as in\n"
       "the paper. Shapes (q, dS, dR, ratios) replicate the paper's Table 1;\n"
       "nS is scaled down for bench runtime (see EXPERIMENTS.md).\n");
-  return 0;
+  return bench::ExitCode();
 }

@@ -35,5 +35,5 @@ int main() {
       "\nExpected shape (paper Table 2): NoJoin within ~0.01 of JoinAll for\n"
       "every dataset except Yelp; NoFK notably lower on Flights/LastFM/\n"
       "Books/Expedia/Movies, higher on Yelp/Walmart.\n");
-  return 0;
+  return bench::ExitCode();
 }

@@ -39,5 +39,5 @@ int main() {
       "everywhere except Yelp (and LastFM/Books for the RBF-SVM); the\n"
       "Yelp drop is smaller for RBF-SVM/ANN (~0.01) than for NB/LR "
       "(~0.03).\n");
-  return 0;
+  return bench::ExitCode();
 }

@@ -16,13 +16,18 @@ int main() {
   using core::ModelKind;
   bench::PrintHeader("Table 4: drop-one-dimension robustness (dt-gini)");
 
-  const core::Effort effort = core::EffortFromEnv();
+  const core::Effort effort = bench::EffortFromMode();
   for (const auto& spec :
-       synth::AllRealWorldSpecs(bench::DataScale())) {
+       bench::BenchSpecs()) {
     StarSchema star = synth::GenerateRealWorld(spec);
     Result<core::PreparedData> prepared = core::Prepare(
         star, spec.seed + 991, synth::RealWorldJoinOptions(spec));
-    if (!prepared.ok()) continue;
+    if (!prepared.ok()) {
+      std::printf("%-10s prepare failed: %s\n", spec.name.c_str(),
+                  prepared.status().ToString().c_str());
+      bench::ReportFailure();
+      continue;
+    }
     const core::PreparedData& p = prepared.value();
 
     std::printf("%-10s", spec.name.c_str());
@@ -31,7 +36,7 @@ int main() {
       Result<core::VariantResult> r =
           core::RunVariant(p, ModelKind::kTreeGini, variant, effort);
       std::printf("  %s=%.4f", core::FeatureVariantName(variant),
-                  r.ok() ? r.value().test_accuracy : -1.0);
+                  bench::TestAccuracyOrFail(r));
     }
     // NoR_i: drop one dimension's foreign features at a time.
     for (size_t i = 0; i < spec.dims.size(); ++i) {
@@ -40,7 +45,7 @@ int main() {
           core::SelectDroppingDimensions(p.data, {static_cast<int>(i)}),
           "NoR" + std::to_string(i + 1), effort);
       std::printf("  NoR%zu(%s)=%.4f", i + 1, spec.dims[i].name.c_str(),
-                  r.ok() ? r.value().test_accuracy : -1.0);
+                  bench::TestAccuracyOrFail(r));
     }
     // Pairwise drops for q = 3 (Flights).
     if (spec.dims.size() == 3) {
@@ -52,7 +57,7 @@ int main() {
             core::SelectDroppingDimensions(p.data, {pr[0], pr[1]}),
             "NoR-pair", effort);
         std::printf("  NoR%d,%d=%.4f", pr[0] + 1, pr[1] + 1,
-                    r.ok() ? r.value().test_accuracy : -1.0);
+                    bench::TestAccuracyOrFail(r));
       }
     }
     std::printf("\n");
@@ -62,5 +67,5 @@ int main() {
   std::printf(
       "\nExpected shape (paper Table 4): every NoR_i matches JoinAll within\n"
       "~0.01 except Yelp's NoR2 (users, tuple ratio 2.5), which drops.\n");
-  return 0;
+  return bench::ExitCode();
 }

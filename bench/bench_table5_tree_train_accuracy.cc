@@ -30,5 +30,5 @@ int main() {
   std::printf(
       "\nExpected shape (paper Table 5): JoinAll ~ NoJoin per model; 1-NN\n"
       "training accuracy ~1 (pure memorisation).\n");
-  return 0;
+  return bench::ExitCode();
 }

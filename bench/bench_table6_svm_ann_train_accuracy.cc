@@ -33,5 +33,5 @@ int main() {
   std::printf(
       "\nExpected shape (paper Table 6): JoinAll ~ NoJoin train accuracy\n"
       "within each model family; kernel SVMs overfit more than linear.\n");
-  return 0;
+  return bench::ExitCode();
 }

@@ -27,7 +27,7 @@ struct TableColumn {
 /// (Tables 5/6) or test accuracy (Tables 2/3) with 4 decimals.
 inline void RunAccuracyTable(const std::vector<TableColumn>& columns,
                              bool report_train_accuracy) {
-  const core::Effort effort = core::EffortFromEnv();
+  const core::Effort effort = EffortFromMode();
 
   // Header: model/variant labels.
   std::printf("%-10s", "Dataset");
@@ -39,7 +39,7 @@ inline void RunAccuracyTable(const std::vector<TableColumn>& columns,
   }
   std::printf("\n");
 
-  for (const auto& spec : synth::AllRealWorldSpecs(DataScale())) {
+  for (const auto& spec : BenchSpecs()) {
     StarSchema star = synth::GenerateRealWorld(spec);
     Result<core::PreparedData> prepared =
         core::Prepare(star, spec.seed + 991,
@@ -47,6 +47,7 @@ inline void RunAccuracyTable(const std::vector<TableColumn>& columns,
     if (!prepared.ok()) {
       std::printf("%-10s prepare failed: %s\n", spec.name.c_str(),
                   prepared.status().ToString().c_str());
+      ReportFailure();
       continue;
     }
     std::printf("%-10s", spec.name.c_str());
@@ -56,6 +57,7 @@ inline void RunAccuracyTable(const std::vector<TableColumn>& columns,
           core::RunVariant(prepared.value(), col.kind, col.variant, effort);
       if (!r.ok()) {
         std::printf(" %-22s", "ERR");
+        ReportFailure();
         continue;
       }
       const double acc = report_train_accuracy

@@ -4,7 +4,10 @@
 // Every binary prints the corresponding paper table/figure series. Effort
 // defaults to quick (HAMLET_BENCH_MODE=full for paper-fidelity grids and
 // run counts); quick mode shrinks sizes so the whole bench suite finishes
-// in minutes while preserving the qualitative shapes.
+// in minutes while preserving the qualitative shapes. A third level,
+// HAMLET_BENCH_MODE=smoke, shrinks further (fewer runs, smaller data,
+// fewer datasets) so ctest can exercise every binary in seconds — smoke
+// output checks that the code paths run, not that the figures replicate.
 
 #ifndef HAMLET_BENCH_BENCH_UTIL_H_
 #define HAMLET_BENCH_BENCH_UTIL_H_
@@ -22,23 +25,95 @@
 #include "hamlet/ml/metrics.h"
 #include "hamlet/ml/svm/svm.h"
 #include "hamlet/ml/tree/decision_tree.h"
+#include "hamlet/synth/realworld.h"
 
 namespace hamlet {
 namespace bench {
 
-inline bool IsFullMode() {
-  return core::EffortFromEnv() == core::Effort::kFull;
+/// Bench effort level. Quick/full map onto core::Effort for grids; smoke
+/// additionally shrinks run counts, data scale, and the dataset roster.
+/// core::BenchModeFromEnv() is the single parser of HAMLET_BENCH_MODE.
+using core::BenchMode;
+
+inline BenchMode ModeFromEnv() { return core::BenchModeFromEnv(); }
+
+inline const char* BenchModeName(BenchMode m) {
+  switch (m) {
+    case BenchMode::kSmoke:
+      return "smoke";
+    case BenchMode::kQuick:
+      return "quick";
+    case BenchMode::kFull:
+      return "full";
+  }
+  return "?";
+}
+
+inline bool IsFullMode() { return ModeFromEnv() == BenchMode::kFull; }
+inline bool IsSmokeMode() { return ModeFromEnv() == BenchMode::kSmoke; }
+
+/// Grid effort for bench runs — same parse as the data-scale helpers.
+inline core::Effort EffortFromMode() { return core::EffortFromEnv(); }
+
+/// Process-wide failure flag. Bench binaries keep printing their tables
+/// when individual cells fail (ERR / -1 entries), but any reported
+/// failure makes ExitCode() nonzero so the ctest smoke entries catch a
+/// bench whose runs all silently break.
+inline int& FailureCount() {
+  static int count = 0;
+  return count;
+}
+inline void ReportFailure() { ++FailureCount(); }
+inline int ExitCode() { return FailureCount() == 0 ? 0 : 1; }
+
+/// Test accuracy of `r`, or -1 with the failure flag set — keeps table
+/// rows printing while making the binary exit nonzero at the end.
+inline double TestAccuracyOrFail(const Result<core::VariantResult>& r) {
+  if (!r.ok()) {
+    ReportFailure();
+    return -1.0;
+  }
+  return r.value().test_accuracy;
 }
 
 /// Monte-Carlo runs per point: the paper uses 100; quick mode uses 12.
-inline size_t NumRuns() { return IsFullMode() ? 100 : 12; }
+inline size_t NumRuns() {
+  switch (ModeFromEnv()) {
+    case BenchMode::kSmoke:
+      return 3;
+    case BenchMode::kQuick:
+      return 12;
+    case BenchMode::kFull:
+      return 100;
+  }
+  return 12;
+}
 
 /// Dataset scale for the real-world simulators (1.0 = ~6000 fact rows).
-inline double DataScale() { return IsFullMode() ? 1.0 : 0.5; }
+inline double DataScale() {
+  switch (ModeFromEnv()) {
+    case BenchMode::kSmoke:
+      return 0.2;
+    case BenchMode::kQuick:
+      return 0.5;
+    case BenchMode::kFull:
+      return 1.0;
+  }
+  return 0.5;
+}
+
+/// The dataset roster for table benches: all seven simulated datasets in
+/// quick/full mode, a two-dataset subset in smoke mode.
+inline std::vector<synth::RealWorldSpec> BenchSpecs() {
+  std::vector<synth::RealWorldSpec> specs =
+      synth::AllRealWorldSpecs(DataScale());
+  if (IsSmokeMode() && specs.size() > 2) specs.resize(2);
+  return specs;
+}
 
 inline void PrintHeader(const std::string& title) {
   std::printf("=== %s ===\n", title.c_str());
-  std::printf("mode: %s\n\n", IsFullMode() ? "full" : "quick");
+  std::printf("mode: %s\n\n", BenchModeName(ModeFromEnv()));
 }
 
 inline void PrintRow(const std::vector<std::string>& cells, size_t width) {
@@ -74,6 +149,12 @@ ml::BiasVariance SimulateVariant(MakeStar&& make_star,
   // Fixed test set from an independent draw: run index 10^6.
   StarSchema test_star = make_star(1000000);
   Result<core::PreparedData> test_prep = core::Prepare(test_star, 999);
+  if (!test_prep.ok()) {
+    std::printf("prepare(test) failed: %s\n",
+                test_prep.status().ToString().c_str());
+    ReportFailure();
+    return {};
+  }
   const core::PreparedData& tp = test_prep.value();
   const std::vector<uint32_t> features =
       core::SelectVariant(tp.data, variant);
@@ -87,6 +168,12 @@ ml::BiasVariance SimulateVariant(MakeStar&& make_star,
   for (size_t r = 0; r < runs; ++r) {
     StarSchema star = make_star(r);
     Result<core::PreparedData> prep = core::Prepare(star, 31 * r + 7);
+    if (!prep.ok()) {
+      std::printf("prepare(run %zu) failed: %s\n", r,
+                  prep.status().ToString().c_str());
+      ReportFailure();
+      return {};
+    }
     const core::PreparedData& p = prep.value();
     const std::vector<uint32_t> run_features =
         core::SelectVariant(p.data, variant);
@@ -135,6 +222,11 @@ ml::BiasVariance SimulateVariant(MakeStar&& make_star,
   }
   Result<ml::BiasVariance> bv =
       ml::DecomposePredictions(preds, labels, labels);
+  if (!bv.ok()) {
+    std::printf("decompose failed: %s\n", bv.status().ToString().c_str());
+    ReportFailure();
+    return {};
+  }
   return bv.value();
 }
 

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Run every hamlet bench binary and aggregate timings into one JSON file.
+
+Invoked by the `bench_run_all` CMake target as
+
+    run_all.py --mode smoke --output BENCH_results.json --bench <bin>...
+
+but also usable standalone against an existing build tree:
+
+    bench/run_all.py --mode quick --output /tmp/r.json --bench build/bench/bench_*
+
+Each bench runs with HAMLET_BENCH_MODE set to --mode; the report records
+per-bench wall time, exit code, and captured stdout tail, keyed by the
+paper figure/table the binary reproduces, so later perf PRs can diff
+`BENCH_results.json` across commits.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+
+
+def run_one(path: str, mode: str, timeout_s: int) -> dict:
+    name = os.path.basename(path)
+    env = dict(os.environ, HAMLET_BENCH_MODE=mode)
+    start = time.monotonic()
+    try:
+        proc = subprocess.run(
+            [path],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            timeout=timeout_s,
+        )
+        exit_code = proc.returncode
+        output = proc.stdout
+    except subprocess.TimeoutExpired as exc:
+        # TimeoutExpired.stdout is bytes even when text=True.
+        partial = exc.stdout or b""
+        if isinstance(partial, bytes):
+            partial = partial.decode(errors="replace")
+        exit_code = -1
+        output = partial + f"\n[timeout after {timeout_s}s]"
+    except OSError as exc:
+        exit_code = -1
+        output = f"[failed to launch: {exc}]"
+    seconds = time.monotonic() - start
+
+    tail = output.splitlines()[-12:]
+    figure = name[len("bench_"):] if name.startswith("bench_") else name
+    return {
+        "name": name,
+        "figure": figure,
+        "seconds": round(seconds, 3),
+        "exit_code": exit_code,
+        "ok": exit_code == 0,
+        "stdout_tail": tail,
+    }
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--mode", default="smoke",
+                    choices=["smoke", "quick", "full"])
+    ap.add_argument("--output", required=True,
+                    help="path of the aggregated JSON report")
+    ap.add_argument("--timeout", type=int, default=900,
+                    help="per-bench timeout in seconds")
+    ap.add_argument("--bench", nargs="+", required=True,
+                    help="bench binaries to run")
+    args = ap.parse_args()
+
+    results = []
+    for path in args.bench:
+        print(f"[run_all] {os.path.basename(path)} ...",
+              flush=True)
+        result = run_one(path, args.mode, args.timeout)
+        status = "ok" if result["ok"] else f"FAILED ({result['exit_code']})"
+        print(f"[run_all]   {status} in {result['seconds']}s", flush=True)
+        results.append(result)
+
+    report = {
+        "schema_version": 1,
+        "suite": "hamlet-bench",
+        "mode": args.mode,
+        "num_benches": len(results),
+        "num_failed": sum(1 for r in results if not r["ok"]),
+        "total_seconds": round(sum(r["seconds"] for r in results), 3),
+        "benches": results,
+    }
+    with open(args.output, "w") as f:
+        json.dump(report, f, indent=2)
+        f.write("\n")
+    print(f"[run_all] wrote {args.output}: {report['num_benches']} benches, "
+          f"{report['num_failed']} failed, {report['total_seconds']}s total")
+    return 1 if report["num_failed"] else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,24 @@
+# Shared compile/link settings: strict warnings for all hamlet targets and
+# the opt-in HAMLET_SANITIZE (ASan+UBSan) mode.
+#
+# Usage: target_link_libraries(<tgt> PRIVATE hamlet::flags)
+
+add_library(hamlet_flags INTERFACE)
+add_library(hamlet::flags ALIAS hamlet_flags)
+
+if(CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+  target_compile_options(hamlet_flags INTERFACE -Wall -Wextra -Werror)
+elseif(MSVC)
+  target_compile_options(hamlet_flags INTERFACE /W4 /WX)
+endif()
+
+if(HAMLET_SANITIZE)
+  if(NOT CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+    message(FATAL_ERROR "HAMLET_SANITIZE requires gcc or clang")
+  endif()
+  set(_hamlet_san_flags -fsanitize=address,undefined -fno-sanitize-recover=all
+      -fno-omit-frame-pointer)
+  target_compile_options(hamlet_flags INTERFACE ${_hamlet_san_flags})
+  target_link_options(hamlet_flags INTERFACE ${_hamlet_san_flags})
+  message(STATUS "hamlet: building with ASan + UBSan")
+endif()

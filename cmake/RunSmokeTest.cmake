@@ -1,0 +1,28 @@
+# Runs a binary and fails unless BOTH the exit code is 0 and MARKER
+# appears in its stdout. (ctest's PASS_REGULAR_EXPRESSION alone ignores
+# the exit code, which would mask e.g. sanitizer aborts after the marker
+# prints.)
+#
+# Usage: cmake -DCMD=<binary> -DMARKER=<regex> -P RunSmokeTest.cmake
+
+if(NOT DEFINED CMD OR NOT DEFINED MARKER)
+  message(FATAL_ERROR "RunSmokeTest.cmake needs -DCMD=... and -DMARKER=...")
+endif()
+
+execute_process(
+  COMMAND "${CMD}"
+  OUTPUT_VARIABLE smoke_out
+  ERROR_VARIABLE smoke_err
+  RESULT_VARIABLE smoke_rc
+)
+message("${smoke_out}")
+if(smoke_err)
+  message("${smoke_err}")
+endif()
+
+if(NOT smoke_rc EQUAL 0)
+  message(FATAL_ERROR "smoke: ${CMD} exited with '${smoke_rc}'")
+endif()
+if(NOT smoke_out MATCHES "${MARKER}")
+  message(FATAL_ERROR "smoke: marker '${MARKER}' not found in stdout")
+endif()

@@ -42,10 +42,18 @@ const char* ModelKindName(ModelKind kind) {
   return "unknown";
 }
 
-Effort EffortFromEnv() {
+BenchMode BenchModeFromEnv() {
   const char* mode = std::getenv("HAMLET_BENCH_MODE");
-  if (mode != nullptr && std::string(mode) == "full") return Effort::kFull;
-  return Effort::kQuick;
+  if (mode != nullptr) {
+    if (std::string(mode) == "full") return BenchMode::kFull;
+    if (std::string(mode) == "smoke") return BenchMode::kSmoke;
+  }
+  return BenchMode::kQuick;
+}
+
+Effort EffortFromEnv() {
+  return BenchModeFromEnv() == BenchMode::kFull ? Effort::kFull
+                                                : Effort::kQuick;
 }
 
 Result<PreparedData> Prepare(const StarSchema& star, uint64_t split_seed,

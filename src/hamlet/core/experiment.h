@@ -43,7 +43,17 @@ const char* ModelKindName(ModelKind kind);
 /// to keep the full bench suite in minutes; kFull uses the paper's grids.
 enum class Effort { kQuick, kFull };
 
-/// Reads HAMLET_BENCH_MODE ("full" -> kFull, anything else -> kQuick).
+/// The three bench tiers selected by HAMLET_BENCH_MODE: "smoke" and
+/// "full" are recognised, anything else (including unset) is kQuick.
+/// Grids only distinguish kQuick/kFull (see EffortFromEnv); the bench
+/// layer additionally uses kSmoke to shrink run counts and data sizes.
+enum class BenchMode { kSmoke, kQuick, kFull };
+
+/// The single parser of HAMLET_BENCH_MODE.
+BenchMode BenchModeFromEnv();
+
+/// Grid effort implied by BenchModeFromEnv() (kFull -> kFull, else
+/// kQuick).
 Effort EffortFromEnv();
 
 /// A joined dataset with its split, ready for variant experiments.

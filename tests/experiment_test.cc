@@ -129,6 +129,19 @@ TEST(ExperimentTest, EffortFromEnvDefaultsToQuick) {
   unsetenv("HAMLET_BENCH_MODE");
 }
 
+TEST(ExperimentTest, BenchModeFromEnvRecognisesAllTiers) {
+  unsetenv("HAMLET_BENCH_MODE");
+  EXPECT_EQ(BenchModeFromEnv(), BenchMode::kQuick);
+  setenv("HAMLET_BENCH_MODE", "smoke", 1);
+  EXPECT_EQ(BenchModeFromEnv(), BenchMode::kSmoke);
+  EXPECT_EQ(EffortFromEnv(), Effort::kQuick);  // smoke keeps quick grids
+  setenv("HAMLET_BENCH_MODE", "full", 1);
+  EXPECT_EQ(BenchModeFromEnv(), BenchMode::kFull);
+  setenv("HAMLET_BENCH_MODE", "bogus", 1);
+  EXPECT_EQ(BenchModeFromEnv(), BenchMode::kQuick);
+  unsetenv("HAMLET_BENCH_MODE");
+}
+
 TEST(ExperimentTest, ModelKindNamesAreUnique) {
   std::set<std::string> names;
   for (auto kind :
