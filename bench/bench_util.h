@@ -12,6 +12,7 @@
 #ifndef HAMLET_BENCH_BENCH_UTIL_H_
 #define HAMLET_BENCH_BENCH_UTIL_H_
 
+#include <atomic>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -58,13 +59,16 @@ inline core::Effort EffortFromMode() { return core::EffortFromEnv(); }
 /// Process-wide failure flag. Bench binaries keep printing their tables
 /// when individual cells fail (ERR / -1 entries), but any reported
 /// failure makes ExitCode() nonzero so the ctest smoke entries catch a
-/// bench whose runs all silently break.
-inline int& FailureCount() {
-  static int count = 0;
+/// bench whose runs all silently break. Atomic because Monte-Carlo run
+/// callbacks report failures from pool worker threads.
+inline std::atomic<int>& FailureCount() {
+  static std::atomic<int> count{0};
   return count;
 }
-inline void ReportFailure() { ++FailureCount(); }
-inline int ExitCode() { return FailureCount() == 0 ? 0 : 1; }
+inline void ReportFailure() {
+  FailureCount().fetch_add(1, std::memory_order_relaxed);
+}
+inline int ExitCode() { return FailureCount().load() == 0 ? 0 : 1; }
 
 /// Test accuracy of `r`, or -1 with the failure flag set — keeps table
 /// rows printing while making the binary exit nonzero at the end.
@@ -163,9 +167,13 @@ ml::BiasVariance SimulateVariant(MakeStar&& make_star,
   std::vector<uint8_t> labels(fixed_test.num_rows());
   for (size_t i = 0; i < labels.size(); ++i) labels[i] = fixed_test.label(i);
 
-  std::vector<std::vector<uint8_t>> preds;
-  preds.reserve(runs);
-  for (size_t r = 0; r < runs; ++r) {
+  // The runs execute concurrently on the parallel pool via the
+  // Monte-Carlo driver: every piece of per-run state (data seed, split
+  // seed, models) derives from the run index r, so the callback is
+  // thread-safe and the decomposition is bit-identical at any
+  // HAMLET_THREADS. A failed run returns an empty prediction vector,
+  // which the decomposition rejects as a size mismatch below.
+  auto run_one = [&](size_t r) -> std::vector<uint8_t> {
     StarSchema star = make_star(r);
     Result<core::PreparedData> prep = core::Prepare(star, 31 * r + 7);
     if (!prep.ok()) {
@@ -218,10 +226,10 @@ ml::BiasVariance SimulateVariant(MakeStar&& make_star,
         break;
       }
     }
-    preds.push_back(std::move(run_preds));
-  }
+    return run_preds;
+  };
   Result<ml::BiasVariance> bv =
-      ml::DecomposePredictions(preds, labels, labels);
+      ml::MonteCarloBiasVariance(runs, run_one, labels, labels);
   if (!bv.ok()) {
     std::printf("decompose failed: %s\n", bv.status().ToString().c_str());
     ReportFailure();

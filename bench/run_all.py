@@ -12,7 +12,11 @@ but also usable standalone against an existing build tree:
 Each bench runs with HAMLET_BENCH_MODE set to --mode; the report records
 per-bench wall time, exit code, and captured stdout tail, keyed by the
 paper figure/table the binary reproduces, so later perf PRs can diff
-`BENCH_results.json` across commits.
+`BENCH_results.json` across commits. The report also records the threading
+context (HAMLET_THREADS and the host core count) since bench wall times
+are only comparable at equal parallelism. Pass --baseline <old.json> to
+print per-bench speedups against a previous report and embed them as
+`speedup_vs_baseline`.
 """
 
 import argparse
@@ -70,9 +74,19 @@ def main() -> int:
                     help="path of the aggregated JSON report")
     ap.add_argument("--timeout", type=int, default=900,
                     help="per-bench timeout in seconds")
+    ap.add_argument("--baseline",
+                    help="previous BENCH_results.json to compute per-bench "
+                         "speedups against")
     ap.add_argument("--bench", nargs="+", required=True,
                     help="bench binaries to run")
     args = ap.parse_args()
+
+    baseline_seconds = {}
+    if args.baseline:
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+        baseline_seconds = {b["name"]: b["seconds"]
+                            for b in baseline.get("benches", [])}
 
     results = []
     for path in args.bench:
@@ -80,13 +94,22 @@ def main() -> int:
               flush=True)
         result = run_one(path, args.mode, args.timeout)
         status = "ok" if result["ok"] else f"FAILED ({result['exit_code']})"
+        base = baseline_seconds.get(result["name"])
+        if base and result["seconds"] > 0:
+            result["speedup_vs_baseline"] = round(base / result["seconds"], 3)
+            status += f", {result['speedup_vs_baseline']}x vs baseline"
         print(f"[run_all]   {status} in {result['seconds']}s", flush=True)
         results.append(result)
 
     report = {
-        "schema_version": 1,
+        "schema_version": 2,
         "suite": "hamlet-bench",
         "mode": args.mode,
+        # Wall times are only comparable at equal parallelism, so pin the
+        # threading context alongside them (unset = hardware concurrency).
+        "hamlet_threads": os.environ.get("HAMLET_THREADS"),
+        "host_cores": os.cpu_count(),
+        "baseline": args.baseline,
         "num_benches": len(results),
         "num_failed": sum(1 for r in results if not r["ok"]),
         "total_seconds": round(sum(r["seconds"] for r in results), 3),
@@ -96,7 +119,17 @@ def main() -> int:
         json.dump(report, f, indent=2)
         f.write("\n")
     print(f"[run_all] wrote {args.output}: {report['num_benches']} benches, "
-          f"{report['num_failed']} failed, {report['total_seconds']}s total")
+          f"{report['num_failed']} failed, {report['total_seconds']}s total "
+          f"(HAMLET_THREADS={report['hamlet_threads'] or 'default'}, "
+          f"{report['host_cores']} cores)")
+    if baseline_seconds:
+        compared = [r for r in results if "speedup_vs_baseline" in r]
+        if compared:
+            total_base = sum(baseline_seconds[r["name"]] for r in compared)
+            total_now = sum(r["seconds"] for r in compared)
+            overall = total_base / total_now if total_now > 0 else 0.0
+            print(f"[run_all] overall speedup vs {args.baseline}: "
+                  f"{overall:.3f}x over {len(compared)} benches")
     return 1 if report["num_failed"] else 0
 
 

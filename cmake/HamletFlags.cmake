@@ -1,5 +1,7 @@
 # Shared compile/link settings: strict warnings for all hamlet targets and
-# the opt-in HAMLET_SANITIZE (ASan+UBSan) mode.
+# the opt-in HAMLET_SANITIZE (ASan+UBSan) / HAMLET_TSAN (ThreadSanitizer)
+# modes. The two sanitizer modes are mutually exclusive (TSan cannot link
+# with ASan).
 #
 # Usage: target_link_libraries(<tgt> PRIVATE hamlet::flags)
 
@@ -12,6 +14,11 @@ elseif(MSVC)
   target_compile_options(hamlet_flags INTERFACE /W4 /WX)
 endif()
 
+if(HAMLET_SANITIZE AND HAMLET_TSAN)
+  message(FATAL_ERROR
+    "HAMLET_SANITIZE and HAMLET_TSAN are mutually exclusive; pick one")
+endif()
+
 if(HAMLET_SANITIZE)
   if(NOT CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
     message(FATAL_ERROR "HAMLET_SANITIZE requires gcc or clang")
@@ -21,4 +28,14 @@ if(HAMLET_SANITIZE)
   target_compile_options(hamlet_flags INTERFACE ${_hamlet_san_flags})
   target_link_options(hamlet_flags INTERFACE ${_hamlet_san_flags})
   message(STATUS "hamlet: building with ASan + UBSan")
+endif()
+
+if(HAMLET_TSAN)
+  if(NOT CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+    message(FATAL_ERROR "HAMLET_TSAN requires gcc or clang")
+  endif()
+  set(_hamlet_tsan_flags -fsanitize=thread -fno-omit-frame-pointer)
+  target_compile_options(hamlet_flags INTERFACE ${_hamlet_tsan_flags})
+  target_link_options(hamlet_flags INTERFACE ${_hamlet_tsan_flags})
+  message(STATUS "hamlet: building with ThreadSanitizer")
 endif()

@@ -1,0 +1,16 @@
+#include "hamlet/common/logging.h"
+
+#include <mutex>
+#include <unordered_set>
+
+namespace hamlet {
+
+bool FirstOccurrence(const std::string& key) {
+  static std::mutex mu;
+  static std::unordered_set<std::string>* seen =
+      new std::unordered_set<std::string>();  // leaked: usable at exit
+  std::lock_guard<std::mutex> lock(mu);
+  return seen->insert(key).second;
+}
+
+}  // namespace hamlet

@@ -1,0 +1,24 @@
+// Minimal diagnostics helpers.
+//
+// hamlet reports recoverable errors through Status; the only logging the
+// library does is one-time stderr warnings about suspicious environment
+// configuration (HAMLET_BENCH_MODE typos, bad HAMLET_THREADS). This header
+// centralises the "warn once per distinct condition" bookkeeping so call
+// sites stay a two-liner and never spam hot paths.
+
+#ifndef HAMLET_COMMON_LOGGING_H_
+#define HAMLET_COMMON_LOGGING_H_
+
+#include <string>
+
+namespace hamlet {
+
+/// Returns true the first time `key` is observed process-wide, false on
+/// every later call with the same key. Thread-safe. Key by condition AND
+/// offending value (e.g. "bench_mode:fulll") so each distinct value warns
+/// exactly once even when values alternate.
+bool FirstOccurrence(const std::string& key);
+
+}  // namespace hamlet
+
+#endif  // HAMLET_COMMON_LOGGING_H_

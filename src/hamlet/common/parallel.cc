@@ -1,0 +1,242 @@
+#include "hamlet/common/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "hamlet/common/logging.h"
+
+namespace hamlet {
+namespace parallel {
+
+namespace {
+
+/// True while this thread is executing a ParallelFor body (worker or
+/// participating caller); nested submissions then run serially inline.
+thread_local bool tls_in_parallel_region = false;
+
+}  // namespace
+
+size_t HardwareThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+size_t ConfiguredThreads() {
+  const char* env = std::getenv("HAMLET_THREADS");
+  if (env == nullptr || *env == '\0') return HardwareThreads();
+  char* end = nullptr;
+  const long parsed = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0' || parsed < 1 || parsed > 1024) {
+    // Warn once per distinct bad value; ConfiguredThreads is called on
+    // every pool (re)start and must not spam bench output.
+    if (FirstOccurrence(std::string("threads:") + env)) {
+      std::fprintf(stderr,
+                   "hamlet: invalid HAMLET_THREADS=\"%s\" (want an integer "
+                   "in [1, 1024]); using hardware concurrency (%zu)\n",
+                   env, HardwareThreads());
+    }
+    return HardwareThreads();
+  }
+  return static_cast<size_t>(parsed);
+}
+
+struct ThreadPool::Impl {
+  /// One index-range job. Each submission allocates a fresh Job so a
+  /// late-waking worker that picks up an already-drained job holds that
+  /// job's own exhausted cursor: it can never claim indices from (or
+  /// reset the progress of) a newer submission, and it only dereferences
+  /// `body` for indices it actually claimed — which a drained cursor
+  /// never hands out — so the caller-stack body outlives every use.
+  struct Job {
+    size_t n = 0;
+    size_t chunk = 1;
+    const std::function<void(size_t)>* body = nullptr;
+    std::atomic<size_t> next{0};
+  };
+
+  explicit Impl(size_t num_threads) : num_threads(num_threads) {}
+
+  ~Impl() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      stop = true;
+    }
+    work_cv.notify_all();
+    for (std::thread& t : workers) t.join();
+  }
+
+  /// Spawns the T-1 workers. Called under `mu` on first submission.
+  void StartWorkers() {
+    started = true;
+    workers.reserve(num_threads - 1);
+    for (size_t w = 0; w + 1 < num_threads; ++w) {
+      workers.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  void WorkerLoop() {
+    tls_in_parallel_region = true;
+    std::unique_lock<std::mutex> lock(mu);
+    uint64_t seen = 0;
+    for (;;) {
+      work_cv.wait(lock, [&] { return stop || generation != seen; });
+      if (stop) return;
+      seen = generation;
+      std::shared_ptr<Job> claimed = job;
+      ++active;
+      lock.unlock();
+      RunChunks(*claimed);
+      lock.lock();
+      if (--active == 0) done_cv.notify_one();
+    }
+  }
+
+  /// Claims chunks off the job's cursor until its range is exhausted.
+  void RunChunks(Job& j) {
+    for (;;) {
+      const size_t begin = j.next.fetch_add(j.chunk, std::memory_order_relaxed);
+      if (begin >= j.n) return;
+      const size_t end = std::min(j.n, begin + j.chunk);
+      for (size_t i = begin; i < end; ++i) {
+        try {
+          (*j.body)(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(error_mu);
+          if (!error) error = std::current_exception();
+        }
+      }
+    }
+  }
+
+  const size_t num_threads;
+  std::vector<std::thread> workers;
+
+  std::mutex submit_mu;  // serializes concurrent external submissions
+
+  std::mutex mu;  // guards everything below
+  std::condition_variable work_cv;
+  std::condition_variable done_cv;
+  bool stop = false;
+  bool started = false;
+  uint64_t generation = 0;
+  size_t active = 0;  // workers currently inside RunChunks
+  std::shared_ptr<Job> job;  // current submission
+
+  std::mutex error_mu;
+  std::exception_ptr error;
+};
+
+ThreadPool::ThreadPool(size_t num_threads)
+    : num_threads_(std::max<size_t>(1, num_threads)),
+      impl_(new Impl(num_threads_)) {}
+
+ThreadPool::~ThreadPool() { delete impl_; }
+
+void ThreadPool::For(size_t n, const std::function<void(size_t)>& body) {
+  if (n == 0) return;
+  if (num_threads_ == 1 || n == 1 || tls_in_parallel_region) {
+    for (size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  std::lock_guard<std::mutex> submit(impl_->submit_mu);
+  auto job = std::make_shared<Impl::Job>();
+  job->n = n;
+  // Chunks several times smaller than a fair share keep the tail
+  // balanced when per-index costs vary (grid points differ wildly).
+  job->chunk = std::max<size_t>(1, n / (num_threads_ * 8));
+  job->body = &body;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    if (!impl_->started) impl_->StartWorkers();
+    impl_->job = job;
+    ++impl_->generation;
+  }
+  impl_->work_cv.notify_all();
+
+  tls_in_parallel_region = true;
+  impl_->RunChunks(*job);
+  tls_in_parallel_region = false;
+
+  std::exception_ptr error;
+  {
+    // The cursor is exhausted once our RunChunks returns; waiting for
+    // `active == 0` under `mu` both drains in-flight workers and
+    // publishes their body side effects to this thread.
+    std::unique_lock<std::mutex> lock(impl_->mu);
+    impl_->done_cv.wait(lock, [&] { return impl_->active == 0; });
+  }
+  {
+    std::lock_guard<std::mutex> lock(impl_->error_mu);
+    std::swap(error, impl_->error);
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+Status ThreadPool::ForStatus(size_t n,
+                             const std::function<Status(size_t)>& body) {
+  if (num_threads_ == 1 || n <= 1 || tls_in_parallel_region) {
+    // Exact serial protocol: stop at the first error, which is also the
+    // lowest-index error, so the returned Status matches the parallel path.
+    for (size_t i = 0; i < n; ++i) {
+      Status st = body(i);
+      if (!st.ok()) return st;
+    }
+    return Status::OK();
+  }
+
+  std::mutex first_mu;
+  size_t first_index = n;
+  Status first_status;
+  For(n, [&](size_t i) {
+    Status st = body(i);
+    if (!st.ok()) {
+      std::lock_guard<std::mutex> lock(first_mu);
+      if (i < first_index) {
+        first_index = i;
+        first_status = std::move(st);
+      }
+    }
+  });
+  return first_index == n ? Status::OK() : first_status;
+}
+
+namespace {
+
+std::mutex g_default_pool_mu;
+std::unique_ptr<ThreadPool> g_default_pool;
+
+}  // namespace
+
+ThreadPool& DefaultPool() {
+  std::lock_guard<std::mutex> lock(g_default_pool_mu);
+  if (g_default_pool == nullptr) {
+    g_default_pool = std::make_unique<ThreadPool>(ConfiguredThreads());
+  }
+  return *g_default_pool;
+}
+
+void ParallelFor(size_t n, const std::function<void(size_t)>& body) {
+  DefaultPool().For(n, body);
+}
+
+Status ParallelForStatus(size_t n,
+                         const std::function<Status(size_t)>& body) {
+  return DefaultPool().ForStatus(n, body);
+}
+
+void ResetDefaultPoolForTesting() {
+  std::lock_guard<std::mutex> lock(g_default_pool_mu);
+  g_default_pool.reset();
+}
+
+}  // namespace parallel
+}  // namespace hamlet

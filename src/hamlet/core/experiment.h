@@ -43,8 +43,9 @@ const char* ModelKindName(ModelKind kind);
 /// to keep the full bench suite in minutes; kFull uses the paper's grids.
 enum class Effort { kQuick, kFull };
 
-/// The three bench tiers selected by HAMLET_BENCH_MODE: "smoke" and
-/// "full" are recognised, anything else (including unset) is kQuick.
+/// The three bench tiers selected by HAMLET_BENCH_MODE: "smoke", "quick"
+/// and "full" are recognised; unset/empty means kQuick, and any other
+/// value falls back to kQuick with a one-time stderr warning.
 /// Grids only distinguish kQuick/kFull (see EffortFromEnv); the bench
 /// layer additionally uses kSmoke to shrink run counts and data sizes.
 enum class BenchMode { kSmoke, kQuick, kFull };

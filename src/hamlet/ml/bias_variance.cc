@@ -1,5 +1,7 @@
 #include "hamlet/ml/bias_variance.h"
 
+#include "hamlet/common/parallel.h"
+
 namespace hamlet {
 namespace ml {
 
@@ -68,11 +70,12 @@ Result<BiasVariance> MonteCarloBiasVariance(
     const std::vector<uint8_t>& test_labels,
     const std::vector<uint8_t>& optimal) {
   if (num_runs == 0) return Status::InvalidArgument("num_runs must be > 0");
-  std::vector<std::vector<uint8_t>> preds;
-  preds.reserve(num_runs);
-  for (size_t r = 0; r < num_runs; ++r) {
-    preds.push_back(run(r));
-  }
+  // Runs are independent by contract (per-run seeds derived from r), so
+  // they execute concurrently; predictions land in run order regardless of
+  // completion order, keeping the decomposition bit-identical at any
+  // thread count.
+  std::vector<std::vector<uint8_t>> preds =
+      parallel::ParallelMap<std::vector<uint8_t>>(num_runs, run);
   return DecomposePredictions(preds, test_labels, optimal);
 }
 

@@ -44,7 +44,10 @@ Result<BiasVariance> DecomposePredictions(
 
 /// Monte-Carlo driver: calls `run(r)` for r in [0, num_runs); each call
 /// trains a fresh model on a freshly sampled training set and returns its
-/// predictions on a fixed test set.
+/// predictions on a fixed test set. Runs execute concurrently on the
+/// parallel pool (HAMLET_THREADS), so the callback must be thread-safe:
+/// derive all randomness from the run index r (per-run seeds) instead of
+/// sharing a generator across runs.
 Result<BiasVariance> MonteCarloBiasVariance(
     size_t num_runs,
     const std::function<std::vector<uint8_t>(size_t run)>& run,

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "hamlet/common/parallel.h"
 #include "hamlet/common/status.h"
 #include "hamlet/data/view.h"
 
@@ -34,10 +35,13 @@ class Classifier {
   /// Short human-readable model name ("dt-gini", "svm-rbf", ...).
   virtual std::string name() const = 0;
 
-  /// Predicts every row of `view`.
+  /// Predicts every row of `view`. Rows are scored concurrently on the
+  /// parallel pool (Predict is const); out[i] is keyed by row index, so
+  /// the result is identical at any thread count.
   std::vector<uint8_t> PredictAll(const DataView& view) const {
     std::vector<uint8_t> out(view.num_rows());
-    for (size_t i = 0; i < view.num_rows(); ++i) out[i] = Predict(view, i);
+    parallel::ParallelFor(out.size(),
+                          [&](size_t i) { out[i] = Predict(view, i); });
     return out;
   }
 };

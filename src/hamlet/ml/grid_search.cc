@@ -1,5 +1,6 @@
 #include "hamlet/ml/grid_search.h"
 
+#include "hamlet/common/parallel.h"
 #include "hamlet/ml/metrics.h"
 
 namespace hamlet {
@@ -11,19 +12,24 @@ ParamGrid& ParamGrid::Add(std::string name, std::vector<double> values) {
 }
 
 std::vector<ParamMap> ParamGrid::Enumerate() const {
+  size_t total = 1;
+  for (const auto& [name, values] : axes_) total *= values.size();
   std::vector<ParamMap> out;
-  out.emplace_back();  // start from the empty assignment
-  for (const auto& [name, values] : axes_) {
-    std::vector<ParamMap> next;
-    next.reserve(out.size() * values.size());
-    for (const auto& partial : out) {
-      for (double v : values) {
-        ParamMap m = partial;
-        m[name] = v;
-        next.push_back(std::move(m));
-      }
+  out.reserve(total);
+  if (total == 0) return out;  // an empty axis annihilates the product
+  // Odometer over the axes (last axis fastest) builds each assignment
+  // exactly once instead of re-copying partial maps level by level.
+  std::vector<size_t> digits(axes_.size(), 0);
+  for (size_t a = 0; a < total; ++a) {
+    ParamMap m;
+    for (size_t k = 0; k < axes_.size(); ++k) {
+      m.emplace(axes_[k].first, axes_[k].second[digits[k]]);
     }
-    out = std::move(next);
+    out.push_back(std::move(m));
+    for (size_t k = axes_.size(); k-- > 0;) {
+      if (++digits[k] < axes_[k].second.size()) break;
+      digits[k] = 0;
+    }
   }
   return out;
 }
@@ -35,22 +41,53 @@ Result<GridSearchResult> GridSearch(const ModelFactory& factory,
   if (train.num_rows() == 0) {
     return Status::InvalidArgument("empty training view");
   }
+  const std::vector<ParamMap> points = grid.Enumerate();
+
+  // Every grid point fits and scores independently on the pool; the winner
+  // is selected afterwards in enumeration order, so the outcome is
+  // bit-identical at any thread count (ties go to the lowest index).
+  // Workers keep only the score — holding all fitted models alive at once
+  // would multiply peak memory by the grid size — except for single-point
+  // grids, where keeping the model skips a pointless refit. Multi-point
+  // grids pay one extra deterministic fit of the winning point instead.
+  const bool keep_model = points.size() == 1;
+  std::vector<double> val_accuracy(points.size(), -1.0);
+  std::unique_ptr<Classifier> only_model;
+  Status fit_status = parallel::ParallelForStatus(
+      points.size(), [&](size_t i) -> Status {
+        std::unique_ptr<Classifier> model = factory(points[i]);
+        if (model == nullptr) {
+          return Status::Internal("model factory returned null");
+        }
+        HAMLET_RETURN_IF_ERROR(model->Fit(train));
+        val_accuracy[i] = val.num_rows() > 0 ? Accuracy(*model, val) : 0.0;
+        if (keep_model) only_model = std::move(model);
+        return Status::OK();
+      });
+  if (!fit_status.ok()) return fit_status;
+
   GridSearchResult result;
   result.best_val_accuracy = -1.0;
-  for (const ParamMap& params : grid.Enumerate()) {
-    std::unique_ptr<Classifier> model = factory(params);
-    if (model == nullptr) {
+  result.configurations_tried = points.size();
+  size_t best_index = points.size();
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (val_accuracy[i] > result.best_val_accuracy) {
+      result.best_val_accuracy = val_accuracy[i];
+      best_index = i;
+    }
+  }
+  if (best_index == points.size()) return result;  // empty axis, no points
+  result.best_params = points[best_index];
+  if (keep_model) {
+    result.best_model = std::move(only_model);
+  } else {
+    // Refitting the winner on the same training view is deterministic, so
+    // this reproduces the exact model the worker scored.
+    result.best_model = factory(points[best_index]);
+    if (result.best_model == nullptr) {
       return Status::Internal("model factory returned null");
     }
-    HAMLET_RETURN_IF_ERROR(model->Fit(train));
-    const double val_acc =
-        val.num_rows() > 0 ? Accuracy(*model, val) : 0.0;
-    ++result.configurations_tried;
-    if (val_acc > result.best_val_accuracy) {
-      result.best_val_accuracy = val_acc;
-      result.best_params = params;
-      result.best_model = std::move(model);
-    }
+    HAMLET_RETURN_IF_ERROR(result.best_model->Fit(train));
   }
   return result;
 }

@@ -55,6 +55,9 @@ struct GridSearchResult {
 
 /// Fits one model per grid point on `train`, scores on `val`, returns the
 /// best (ties: first in enumeration order, keeping results deterministic).
+/// Grid points fit and score concurrently on the parallel pool
+/// (HAMLET_THREADS); the winner and any error (lowest-index failure) are
+/// bit-identical at every thread count.
 Result<GridSearchResult> GridSearch(const ModelFactory& factory,
                                     const ParamGrid& grid,
                                     const DataView& train,

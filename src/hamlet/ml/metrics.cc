@@ -1,6 +1,9 @@
 #include "hamlet/ml/metrics.h"
 
+#include <algorithm>
 #include <cassert>
+
+#include "hamlet/common/parallel.h"
 
 namespace hamlet {
 namespace ml {
@@ -27,9 +30,13 @@ double ConfusionMatrix::f1() const {
   return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
 }
 
-ConfusionMatrix Evaluate(const Classifier& model, const DataView& view) {
+namespace {
+
+/// Confusion counts for view rows [begin, end).
+ConfusionMatrix EvaluateRange(const Classifier& model, const DataView& view,
+                              size_t begin, size_t end) {
   ConfusionMatrix cm;
-  for (size_t i = 0; i < view.num_rows(); ++i) {
+  for (size_t i = begin; i < end; ++i) {
     const uint8_t pred = model.Predict(view, i);
     const uint8_t truth = view.label(i);
     if (pred == 1 && truth == 1) {
@@ -41,6 +48,34 @@ ConfusionMatrix Evaluate(const Classifier& model, const DataView& view) {
     } else {
       ++cm.fn;
     }
+  }
+  return cm;
+}
+
+}  // namespace
+
+ConfusionMatrix Evaluate(const Classifier& model, const DataView& view) {
+  const size_t n = view.num_rows();
+  // Rows score independently (Predict is const); chunks of rows run on the
+  // parallel pool and the integer counts sum identically in any order, so
+  // the result matches the serial path bit for bit. Small views skip the
+  // fan-out overhead.
+  constexpr size_t kRowsPerChunk = 256;
+  if (n < 2 * kRowsPerChunk) return EvaluateRange(model, view, 0, n);
+
+  const size_t num_chunks = (n + kRowsPerChunk - 1) / kRowsPerChunk;
+  std::vector<ConfusionMatrix> partial(num_chunks);
+  parallel::ParallelFor(num_chunks, [&](size_t c) {
+    const size_t begin = c * kRowsPerChunk;
+    partial[c] =
+        EvaluateRange(model, view, begin, std::min(n, begin + kRowsPerChunk));
+  });
+  ConfusionMatrix cm;
+  for (const ConfusionMatrix& p : partial) {
+    cm.tp += p.tp;
+    cm.tn += p.tn;
+    cm.fp += p.fp;
+    cm.fn += p.fn;
   }
   return cm;
 }

@@ -7,12 +7,25 @@
 #include <numeric>
 #include <set>
 
+#include "hamlet/common/logging.h"
 #include "hamlet/common/rng.h"
 #include "hamlet/common/status.h"
 #include "hamlet/common/stringx.h"
 
 namespace hamlet {
 namespace {
+
+// --------------------------------------------------------------- logging --
+
+TEST(LoggingTest, FirstOccurrenceIsTrueExactlyOnce) {
+  // Keys are process-wide, so use ones no other test touches. Distinct
+  // keys stay independent even when observations alternate.
+  EXPECT_TRUE(FirstOccurrence("common_test:a"));
+  EXPECT_TRUE(FirstOccurrence("common_test:b"));
+  EXPECT_FALSE(FirstOccurrence("common_test:a"));
+  EXPECT_FALSE(FirstOccurrence("common_test:b"));
+  EXPECT_FALSE(FirstOccurrence("common_test:a"));
+}
 
 // ---------------------------------------------------------------- Status --
 

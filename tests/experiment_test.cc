@@ -137,8 +137,33 @@ TEST(ExperimentTest, BenchModeFromEnvRecognisesAllTiers) {
   EXPECT_EQ(EffortFromEnv(), Effort::kQuick);  // smoke keeps quick grids
   setenv("HAMLET_BENCH_MODE", "full", 1);
   EXPECT_EQ(BenchModeFromEnv(), BenchMode::kFull);
+  setenv("HAMLET_BENCH_MODE", "quick", 1);
+  EXPECT_EQ(BenchModeFromEnv(), BenchMode::kQuick);
   setenv("HAMLET_BENCH_MODE", "bogus", 1);
   EXPECT_EQ(BenchModeFromEnv(), BenchMode::kQuick);
+  unsetenv("HAMLET_BENCH_MODE");
+}
+
+TEST(ExperimentTest, BenchModeFromEnvWarnsOnUnrecognizedValue) {
+  // A typo like "fulll" must not silently mean quick mode: the fallback is
+  // explicit on stderr (once per distinct value, so repeated parses of the
+  // same typo stay quiet).
+  setenv("HAMLET_BENCH_MODE", "fulll", 1);
+  testing::internal::CaptureStderr();
+  EXPECT_EQ(BenchModeFromEnv(), BenchMode::kQuick);
+  std::string warning = testing::internal::GetCapturedStderr();
+  EXPECT_NE(warning.find("fulll"), std::string::npos) << warning;
+  EXPECT_NE(warning.find("quick"), std::string::npos) << warning;
+
+  testing::internal::CaptureStderr();
+  EXPECT_EQ(BenchModeFromEnv(), BenchMode::kQuick);  // same value: no spam
+  EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+
+  // Recognised values never warn.
+  setenv("HAMLET_BENCH_MODE", "smoke", 1);
+  testing::internal::CaptureStderr();
+  EXPECT_EQ(BenchModeFromEnv(), BenchMode::kSmoke);
+  EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
   unsetenv("HAMLET_BENCH_MODE");
 }
 

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+
 #include "hamlet/common/rng.h"
 #include "hamlet/data/dataset.h"
 #include "hamlet/data/split.h"
@@ -78,6 +80,28 @@ TEST(ParamGridTest, EnumeratesCartesianProduct) {
 
 TEST(ParamGridTest, EmptyGridYieldsOneAssignment) {
   EXPECT_EQ(ParamGrid().Enumerate().size(), 1u);
+}
+
+TEST(ParamGridTest, EnumerationOrderIsPinnedRowMajor) {
+  // The full enumeration order is a contract: parallel grid search breaks
+  // ties by enumeration index, so this order must never change. First
+  // axis varies slowest, last axis fastest.
+  ParamGrid grid;
+  grid.Add("a", {1, 2}).Add("b", {10, 20, 30});
+  const auto all = grid.Enumerate();
+  const std::vector<std::pair<double, double>> expected = {
+      {1, 10}, {1, 20}, {1, 30}, {2, 10}, {2, 20}, {2, 30}};
+  ASSERT_EQ(all.size(), expected.size());
+  for (size_t i = 0; i < all.size(); ++i) {
+    EXPECT_DOUBLE_EQ(all[i].at("a"), expected[i].first) << "index " << i;
+    EXPECT_DOUBLE_EQ(all[i].at("b"), expected[i].second) << "index " << i;
+  }
+}
+
+TEST(ParamGridTest, EmptyAxisAnnihilatesTheProduct) {
+  ParamGrid grid;
+  grid.Add("a", {1, 2}).Add("empty", {});
+  EXPECT_EQ(grid.Enumerate().size(), 0u);
 }
 
 TEST(ParamGridTest, ParamOrFallback) {
@@ -232,16 +256,16 @@ TEST(BiasVarianceTest, ValidatesInput) {
 
 TEST(BiasVarianceTest, MonteCarloDriverRunsCallback) {
   std::vector<uint8_t> labels = {1, 0};
-  size_t calls = 0;
+  std::atomic<size_t> calls{0};  // runs may execute on pool workers
   Result<BiasVariance> r = MonteCarloBiasVariance(
       5,
       [&](size_t) {
-        ++calls;
+        calls.fetch_add(1);
         return std::vector<uint8_t>{1, 0};
       },
       labels, labels);
   ASSERT_TRUE(r.ok());
-  EXPECT_EQ(calls, 5u);
+  EXPECT_EQ(calls.load(), 5u);
   EXPECT_DOUBLE_EQ(r.value().mean_error, 0.0);
   EXPECT_EQ(r.value().num_runs, 5u);
 }
