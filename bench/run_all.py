@@ -16,7 +16,9 @@ paper figure/table the binary reproduces, so later perf PRs can diff
 context (HAMLET_THREADS and the host core count) since bench wall times
 are only comparable at equal parallelism. Pass --baseline <old.json> to
 print per-bench speedups against a previous report and embed them as
-`speedup_vs_baseline`.
+`speedup_vs_baseline`; the CMake `bench_run_all` target passes the
+committed bench/BENCH_baseline.json automatically when it exists (see
+HAMLET_BENCH_BASELINE), so CI artifacts record the perf delta.
 """
 
 import argparse
@@ -83,10 +85,18 @@ def main() -> int:
 
     baseline_seconds = {}
     if args.baseline:
-        with open(args.baseline) as f:
-            baseline = json.load(f)
-        baseline_seconds = {b["name"]: b["seconds"]
-                            for b in baseline.get("benches", [])}
+        # A stale or unreadable baseline must not fail the bench run: the
+        # speedup columns are informational, the timings are the payload.
+        try:
+            with open(args.baseline) as f:
+                baseline = json.load(f)
+            baseline_seconds = {b["name"]: b["seconds"]
+                                for b in baseline.get("benches", [])}
+        except (OSError, ValueError, KeyError, TypeError,
+                AttributeError) as exc:
+            print(f"[run_all] warning: ignoring baseline {args.baseline}: "
+                  f"{exc}", file=sys.stderr)
+            args.baseline = None
 
     results = []
     for path in args.bench:

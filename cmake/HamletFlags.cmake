@@ -27,6 +27,10 @@ if(HAMLET_SANITIZE)
       -fno-omit-frame-pointer)
   target_compile_options(hamlet_flags INTERFACE ${_hamlet_san_flags})
   target_link_options(hamlet_flags INTERFACE ${_hamlet_san_flags})
+  # Keep CodeMatrix::at() bounds checks on even in optimised sanitizer
+  # builds: a row-internal overrun stays inside the heap allocation, where
+  # ASan alone cannot flag it.
+  target_compile_definitions(hamlet_flags INTERFACE HAMLET_CHECK_BOUNDS=1)
   message(STATUS "hamlet: building with ASan + UBSan")
 endif()
 
@@ -37,5 +41,6 @@ if(HAMLET_TSAN)
   set(_hamlet_tsan_flags -fsanitize=thread -fno-omit-frame-pointer)
   target_compile_options(hamlet_flags INTERFACE ${_hamlet_tsan_flags})
   target_link_options(hamlet_flags INTERFACE ${_hamlet_tsan_flags})
+  target_compile_definitions(hamlet_flags INTERFACE HAMLET_CHECK_BOUNDS=1)
   message(STATUS "hamlet: building with ThreadSanitizer")
 endif()

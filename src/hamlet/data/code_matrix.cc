@@ -1,0 +1,37 @@
+#include "hamlet/data/code_matrix.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace hamlet {
+
+namespace detail {
+
+void CodeMatrixIndexAbort(size_t i, size_t j, size_t num_rows,
+                          size_t num_features) {
+  std::fprintf(stderr,
+               "hamlet: CodeMatrix::at(%zu, %zu) out of bounds for %zu x %zu "
+               "matrix\n",
+               i, j, num_rows, num_features);
+  std::abort();
+}
+
+}  // namespace detail
+
+CodeMatrix::CodeMatrix(const DataView& view, size_t max_rows) {
+  num_rows_ = view.num_rows();
+  if (max_rows > 0 && num_rows_ > max_rows) num_rows_ = max_rows;
+  num_features_ = view.num_features();
+  domain_sizes_.resize(num_features_);
+  for (size_t j = 0; j < num_features_; ++j) {
+    domain_sizes_[j] = view.domain_size(j);
+  }
+  codes_.resize(num_rows_ * num_features_);
+  labels_.resize(num_rows_);
+  for (size_t i = 0; i < num_rows_; ++i) {
+    view.RowCodesInto(i, codes_.data() + i * num_features_);
+    labels_[i] = view.label(i);
+  }
+}
+
+}  // namespace hamlet

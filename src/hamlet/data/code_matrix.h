@@ -1,0 +1,95 @@
+// Dense row-major materialisation of a DataView.
+//
+// DataView::feature(i, j) pays a double indirection on every access (view
+// row-id vector -> view feature-id vector -> column storage), and the hot
+// learner loops — 1-NN distances, SMO kernel evaluations, tree split
+// scans, NB counting — touch every (row, feature) pair many times per
+// fit/score. A CodeMatrix is materialised once at a learner's entry point
+// (Fit / PredictAll) and gives those inner loops a contiguous uint32_t
+// buffer with row(i) span access, plus the labels and per-feature domain
+// sizes the learners need alongside the codes. This mirrors how Hamlet
+// (Kumar et al., SIGMOD 2016) and the source paper operate on dense
+// encoded matrices.
+
+#ifndef HAMLET_DATA_CODE_MATRIX_H_
+#define HAMLET_DATA_CODE_MATRIX_H_
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "hamlet/data/view.h"
+
+namespace hamlet {
+
+namespace detail {
+/// Reports an out-of-bounds CodeMatrix access and aborts. Out of line so
+/// the checked branch stays tiny in the caller.
+[[noreturn]] void CodeMatrixIndexAbort(size_t i, size_t j, size_t num_rows,
+                                       size_t num_features);
+}  // namespace detail
+
+/// Owning dense snapshot of a view's codes, labels and domain sizes.
+/// Unlike DataView it does not reference the Dataset after construction,
+/// so it stays valid independently of the view that produced it.
+class CodeMatrix {
+ public:
+  CodeMatrix() = default;
+
+  /// Materialises every row of `view` (codes in view row/feature order).
+  explicit CodeMatrix(const DataView& view) : CodeMatrix(view, 0) {}
+
+  /// Materialises the first min(max_rows, view.num_rows()) rows; 0 keeps
+  /// every row. Used by learners with a training-row cap (KernelSvm).
+  CodeMatrix(const DataView& view, size_t max_rows);
+
+  size_t num_rows() const { return num_rows_; }
+  size_t num_features() const { return num_features_; }
+
+  /// Contiguous codes of row i (num_features() entries).
+  const uint32_t* row(size_t i) const {
+    assert(i < num_rows_);
+    return codes_.data() + i * num_features_;
+  }
+
+  /// Bounds-checked element access. The check is active in debug builds
+  /// and under the sanitizer configurations (HAMLET_CHECK_BOUNDS, see
+  /// cmake/HamletFlags.cmake) and compiles to a raw load otherwise, so hot
+  /// loops can use at() unconditionally: a row-internal overrun would land
+  /// inside the allocation where ASan alone cannot see it.
+  uint32_t at(size_t i, size_t j) const {
+#if !defined(NDEBUG) || defined(HAMLET_CHECK_BOUNDS)
+    if (i >= num_rows_ || j >= num_features_) {
+      detail::CodeMatrixIndexAbort(i, j, num_rows_, num_features_);
+    }
+#endif
+    return codes_[i * num_features_ + j];
+  }
+
+  uint8_t label(size_t i) const {
+    assert(i < num_rows_);
+    return labels_[i];
+  }
+
+  uint32_t domain_size(size_t j) const {
+    assert(j < num_features_);
+    return domain_sizes_[j];
+  }
+
+  /// Flat row-major code buffer (num_rows * num_features entries); the
+  /// layout ComputeGram and the distance kernels consume directly.
+  const std::vector<uint32_t>& codes() const { return codes_; }
+  const std::vector<uint8_t>& labels() const { return labels_; }
+  const std::vector<uint32_t>& domain_sizes() const { return domain_sizes_; }
+
+ private:
+  size_t num_rows_ = 0;
+  size_t num_features_ = 0;
+  std::vector<uint32_t> codes_;
+  std::vector<uint8_t> labels_;
+  std::vector<uint32_t> domain_sizes_;
+};
+
+}  // namespace hamlet
+
+#endif  // HAMLET_DATA_CODE_MATRIX_H_

@@ -23,4 +23,12 @@ void OneHotMap::ActiveUnits(const DataView& view, size_t i,
   }
 }
 
+void OneHotMap::ActiveUnitsFromCodes(const uint32_t* codes,
+                                     std::vector<uint32_t>& out) const {
+  out.resize(offsets_.size());
+  for (size_t j = 0; j < offsets_.size(); ++j) {
+    out[j] = offsets_[j] + codes[j];
+  }
+}
+
 }  // namespace hamlet

@@ -40,6 +40,12 @@ class OneHotMap {
   void ActiveUnits(const DataView& view, size_t i,
                    std::vector<uint32_t>& out) const;
 
+  /// Same, from an already-materialised row of num_features() codes (a
+  /// CodeMatrix row); produces the unit indices in the same order as
+  /// ActiveUnits on the originating view.
+  void ActiveUnitsFromCodes(const uint32_t* codes,
+                            std::vector<uint32_t>& out) const;
+
  private:
   std::vector<uint32_t> offsets_;
   size_t dimension_ = 0;

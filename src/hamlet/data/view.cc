@@ -37,8 +37,19 @@ DataView DataView::WithFeatures(std::vector<uint32_t> feature_ids) const {
 
 std::vector<uint32_t> DataView::RowCodes(size_t i) const {
   std::vector<uint32_t> out(features_.size());
-  for (size_t j = 0; j < features_.size(); ++j) out[j] = feature(i, j);
+  RowCodesInto(i, out.data());
   return out;
+}
+
+void DataView::RowCodesInto(size_t i, uint32_t* out) const {
+  for (size_t j = 0; j < features_.size(); ++j) out[j] = feature(i, j);
+}
+
+const uint32_t* DataView::ScratchRowCodes(size_t i) const {
+  static thread_local std::vector<uint32_t> codes;
+  codes.resize(features_.size());
+  RowCodesInto(i, codes.data());
+  return codes.data();
 }
 
 size_t DataView::OneHotDimension() const {

@@ -15,10 +15,45 @@
 
 #include "hamlet/common/parallel.h"
 #include "hamlet/common/status.h"
+#include "hamlet/data/code_matrix.h"
 #include "hamlet/data/view.h"
 
 namespace hamlet {
 namespace ml {
+
+/// Runs body(i) for every row index in [0, n): serially below a threshold
+/// where the pool's dispatch overhead dominates per-row prediction cost,
+/// on the parallel pool above it. Results must be keyed by index, so the
+/// output is identical either way. Row scoring belongs here rather than on
+/// a ThreadPool-level cutoff: the pool cannot know per-index cost, and
+/// loops with few-but-huge indices (grid points) must still fan out.
+/// Templated on the callable so the serial path dispatches the concrete
+/// lambda directly; the std::function type erasure is paid only once at
+/// the ParallelFor boundary.
+template <typename Body>
+void ForEachPredictRow(size_t n, Body&& body) {
+  constexpr size_t kSerialRowThreshold = 512;
+  if (n < kSerialRowThreshold) {
+    for (size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  parallel::ParallelFor(n, body);
+}
+
+/// The shared shape of every dense batch-predict override: materialise
+/// the view into a CodeMatrix once, then score each contiguous row with
+/// `predict_row(matrix, i)` (must return uint8_t and be bit-identical to
+/// the learner's per-row Predict at any thread count).
+template <typename RowPredictor>
+std::vector<uint8_t> DensePredictAll(const DataView& view,
+                                     RowPredictor&& predict_row) {
+  const CodeMatrix queries(view);
+  std::vector<uint8_t> out(queries.num_rows());
+  ForEachPredictRow(out.size(), [&](size_t i) {
+    out[i] = predict_row(queries, i);
+  });
+  return out;
+}
 
 /// Abstract binary classifier over categorical feature vectors.
 class Classifier {
@@ -38,10 +73,15 @@ class Classifier {
   /// Predicts every row of `view`. Rows are scored concurrently on the
   /// parallel pool (Predict is const); out[i] is keyed by row index, so
   /// the result is identical at any thread count.
-  std::vector<uint8_t> PredictAll(const DataView& view) const {
+  ///
+  /// Hot learners override this to materialise the view into a dense
+  /// CodeMatrix once and run the per-row predictions on the contiguous
+  /// buffer. Overrides must stay bit-identical to the per-row Predict
+  /// path at any thread count (tests/code_matrix_test.cc enforces this).
+  virtual std::vector<uint8_t> PredictAll(const DataView& view) const {
     std::vector<uint8_t> out(view.num_rows());
-    parallel::ParallelFor(out.size(),
-                          [&](size_t i) { out[i] = Predict(view, i); });
+    ForEachPredictRow(out.size(),
+                      [&](size_t i) { out[i] = Predict(view, i); });
     return out;
   }
 };

@@ -9,32 +9,22 @@ Status OneNearestNeighbor::Fit(const DataView& train) {
   if (train.num_rows() == 0) {
     return Status::InvalidArgument("empty training view");
   }
-  d_ = train.num_features();
-  const size_t n = train.num_rows();
-  rows_.resize(n * d_);
-  labels_.resize(n);
-  for (size_t i = 0; i < n; ++i) {
-    for (size_t j = 0; j < d_; ++j) rows_[i * d_ + j] = train.feature(i, j);
-    labels_[i] = train.label(i);
-  }
+  train_ = CodeMatrix(train);
   return Status::OK();
 }
 
-size_t OneNearestNeighbor::NearestIndex(const DataView& view,
-                                        size_t i) const {
-  assert(!labels_.empty() && view.num_features() == d_);
-  // Materialise the query once; the inner loop then runs on contiguous
-  // arrays with an early exit once the running distance exceeds the best.
-  std::vector<uint32_t> query(d_);
-  for (size_t j = 0; j < d_; ++j) query[j] = view.feature(i, j);
-
+size_t OneNearestNeighbor::NearestIndexOfCodes(const uint32_t* query) const {
+  assert(train_.num_rows() > 0);
+  const size_t d = train_.num_features();
   size_t best = 0;
-  size_t best_dist = d_ + 1;
-  const size_t n = labels_.size();
+  size_t best_dist = d + 1;
+  const size_t n = train_.num_rows();
+  // Contiguous scan with an early exit once the running distance exceeds
+  // the best; ties break toward the earliest training row.
   for (size_t r = 0; r < n; ++r) {
-    const uint32_t* row = &rows_[r * d_];
+    const uint32_t* row = train_.row(r);
     size_t dist = 0;
-    for (size_t j = 0; j < d_; ++j) {
+    for (size_t j = 0; j < d; ++j) {
       dist += row[j] != query[j];
       if (dist >= best_dist) break;
     }
@@ -47,8 +37,23 @@ size_t OneNearestNeighbor::NearestIndex(const DataView& view,
   return best;
 }
 
+size_t OneNearestNeighbor::NearestIndex(const DataView& view,
+                                        size_t i) const {
+  assert(view.num_features() == train_.num_features());
+  // Materialise the query once; the scan then runs on contiguous arrays.
+  return NearestIndexOfCodes(view.ScratchRowCodes(i));
+}
+
 uint8_t OneNearestNeighbor::Predict(const DataView& view, size_t i) const {
-  return labels_[NearestIndex(view, i)];
+  return train_.label(NearestIndex(view, i));
+}
+
+std::vector<uint8_t> OneNearestNeighbor::PredictAll(
+    const DataView& view) const {
+  assert(view.num_features() == train_.num_features());
+  return DensePredictAll(view, [&](const CodeMatrix& queries, size_t i) {
+    return train_.label(NearestIndexOfCodes(queries.row(i)));
+  });
 }
 
 }  // namespace ml

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "hamlet/data/code_matrix.h"
 #include "hamlet/ml/classifier.h"
 
 namespace hamlet {
@@ -25,17 +26,21 @@ class OneNearestNeighbor : public Classifier {
 
   Status Fit(const DataView& train) override;
   uint8_t Predict(const DataView& view, size_t i) const override;
+  /// Dense batch path: materialises `view` into a CodeMatrix once and
+  /// scans contiguous query rows; bit-identical to per-row Predict.
+  std::vector<uint8_t> PredictAll(const DataView& view) const override;
   std::string name() const override { return "1nn"; }
 
   /// Index (into the training view's rows) of the nearest neighbour of
   /// row i of `view`; exposed for the §5 analysis of FK-driven matching.
   size_t NearestIndex(const DataView& view, size_t i) const;
 
+  /// Same, for an already-materialised query of num_features codes.
+  size_t NearestIndexOfCodes(const uint32_t* query) const;
+
  private:
-  // Training data is copied row-major for scan locality.
-  std::vector<uint32_t> rows_;   // n * d codes
-  std::vector<uint8_t> labels_;
-  size_t d_ = 0;
+  // Training data is materialised row-major for scan locality.
+  CodeMatrix train_;
 };
 
 }  // namespace ml

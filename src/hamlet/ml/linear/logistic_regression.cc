@@ -31,34 +31,40 @@ double SoftThreshold(double x, double t) {
 LogisticRegressionL1::LogisticRegressionL1(LogisticRegressionConfig config)
     : config_(std::move(config)) {}
 
-double LogisticRegressionL1::Margin(
-    const std::vector<uint32_t>& active) const {
+double LogisticRegressionL1::MarginOfCodes(const uint32_t* codes) const {
   double z = intercept_;
-  for (uint32_t u : active) {
+  for (size_t j = 0; j < one_hot_.num_features(); ++j) {
+    const uint32_t u = one_hot_.UnitIndex(j, codes[j]);
     if (u < weights_.size()) z += weights_[u];
   }
   return z;
 }
 
 Status LogisticRegressionL1::Fit(const DataView& train) {
-  const size_t n = train.num_rows();
-  if (n == 0) return Status::InvalidArgument("empty training view");
+  if (train.num_rows() == 0) {
+    return Status::InvalidArgument("empty training view");
+  }
+  // Materialise the training view once; the per-row one-hot unit lists
+  // below then come from contiguous code rows instead of double-indirect
+  // view accesses.
+  const CodeMatrix m(train);
+  const size_t n = m.num_rows();
   one_hot_ = OneHotMap(train);
   const size_t dim = one_hot_.dimension();
-  const size_t d_active = train.num_features();
+  const size_t d_active = m.num_features();
 
   // Precompute active unit lists (n rows x d_active units).
   std::vector<uint32_t> units(n * d_active);
   std::vector<uint32_t> row_units;
   for (size_t i = 0; i < n; ++i) {
-    one_hot_.ActiveUnits(train, i, row_units);
+    one_hot_.ActiveUnitsFromCodes(m.row(i), row_units);
     std::copy(row_units.begin(), row_units.end(),
               units.begin() + static_cast<long>(i * d_active));
   }
   std::vector<double> y(n);
   double ybar = 0.0;
   for (size_t i = 0; i < n; ++i) {
-    y[i] = static_cast<double>(train.label(i));
+    y[i] = static_cast<double>(m.label(i));
     ybar += y[i];
   }
   ybar /= static_cast<double>(n);
@@ -68,7 +74,9 @@ Status LogisticRegressionL1::Fit(const DataView& train) {
   std::vector<double> grad0(dim, 0.0);
   for (size_t i = 0; i < n; ++i) {
     const double r = ybar - y[i];
-    const uint32_t* ru = &units[i * d_active];
+    // data() arithmetic, not &units[...]: with zero features the vector
+    // is empty and forming a reference to units[0] is UB.
+    const uint32_t* ru = units.data() + i * d_active;
     for (size_t j = 0; j < d_active; ++j) grad0[ru[j]] += r;
   }
   double lambda_max = 0.0;
@@ -113,6 +121,16 @@ Status LogisticRegressionL1::Fit(const DataView& train) {
   std::vector<double> w_prev = w;
   double b_prev = b;
 
+  // Materialise the validation view once; every path point scores on it.
+  // The validation view must select the training feature subset, or the
+  // dense margin below would read misaligned codes.
+  const bool use_validation =
+      config_.has_validation && config_.validation.num_rows() > 0;
+  assert(!use_validation ||
+         config_.validation.num_features() == d_active);
+  const CodeMatrix val_m =
+      use_validation ? CodeMatrix(config_.validation) : CodeMatrix();
+
   for (size_t k = 0; k < nlambda; ++k) {
     const double lambda = lambdas[k];
     double prev_obj = std::numeric_limits<double>::infinity();
@@ -131,7 +149,7 @@ Status LogisticRegressionL1::Fit(const DataView& train) {
       double loss = 0.0;
       const double b_y = b + beta * (b - b_prev);
       for (size_t i = 0; i < n; ++i) {
-        const uint32_t* ru = &units[i * d_active];
+        const uint32_t* ru = units.data() + i * d_active;
         double z = b_y;
         for (size_t j = 0; j < d_active; ++j) {
           const uint32_t u = ru[j];
@@ -169,19 +187,16 @@ Status LogisticRegressionL1::Fit(const DataView& train) {
 
     // Score this path point.
     double acc;
-    if (config_.has_validation && config_.validation.num_rows() > 0) {
+    if (use_validation) {
       weights_ = w;
       intercept_ = b;
       size_t hits = 0;
-      const DataView& val = config_.validation;
-      std::vector<uint32_t> act;
-      for (size_t i = 0; i < val.num_rows(); ++i) {
-        one_hot_.ActiveUnits(val, i, act);
-        const uint8_t pred = Margin(act) >= 0.0 ? 1 : 0;
-        hits += pred == val.label(i);
+      for (size_t i = 0; i < val_m.num_rows(); ++i) {
+        const uint8_t pred = MarginOfCodes(val_m.row(i)) >= 0.0 ? 1 : 0;
+        hits += pred == val_m.label(i);
       }
       acc = static_cast<double>(hits) /
-            static_cast<double>(val.num_rows());
+            static_cast<double>(val_m.num_rows());
     } else {
       // No validation: prefer the densest (smallest-lambda) fit.
       acc = static_cast<double>(k);
@@ -202,13 +217,25 @@ Status LogisticRegressionL1::Fit(const DataView& train) {
 
 double LogisticRegressionL1::PredictProbability(const DataView& view,
                                                 size_t i) const {
-  std::vector<uint32_t> active;
-  one_hot_.ActiveUnits(view, i, active);
-  return Sigmoid(Margin(active));
+  assert(view.num_features() == one_hot_.num_features());
+  // Materialise the row once and share the margin summation with the
+  // dense batch path.
+  return Sigmoid(MarginOfCodes(view.ScratchRowCodes(i)));
 }
 
 uint8_t LogisticRegressionL1::Predict(const DataView& view, size_t i) const {
   return PredictProbability(view, i) >= 0.5 ? 1 : 0;
+}
+
+std::vector<uint8_t> LogisticRegressionL1::PredictAll(
+    const DataView& view) const {
+  assert(view.num_features() == one_hot_.num_features());
+  return DensePredictAll(view, [&](const CodeMatrix& queries, size_t i) {
+    // Same unit/summation order and the same Sigmoid(margin) >= 0.5
+    // comparison as PredictProbability, so rounding is identical.
+    return Sigmoid(MarginOfCodes(queries.row(i))) >= 0.5 ? uint8_t{1}
+                                                         : uint8_t{0};
+  });
 }
 
 size_t LogisticRegressionL1::NumNonzeroWeights() const {

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "hamlet/data/code_matrix.h"
 #include "hamlet/data/one_hot.h"
 #include "hamlet/ml/classifier.h"
 
@@ -39,6 +40,9 @@ class LogisticRegressionL1 : public Classifier {
 
   Status Fit(const DataView& train) override;
   uint8_t Predict(const DataView& view, size_t i) const override;
+  /// Dense batch path: materialises `view` into a CodeMatrix once;
+  /// bit-identical to per-row Predict.
+  std::vector<uint8_t> PredictAll(const DataView& view) const override;
   std::string name() const override { return "logreg-l1"; }
 
   /// P(y=1|x) for row i of `view`.
@@ -49,7 +53,10 @@ class LogisticRegressionL1 : public Classifier {
   double selected_lambda() const { return selected_lambda_; }
 
  private:
-  double Margin(const std::vector<uint32_t>& active) const;
+  /// intercept + sum of active-unit weights for a materialised row of
+  /// codes — the single margin implementation behind fit-time validation
+  /// scoring, PredictProbability, and the dense PredictAll path.
+  double MarginOfCodes(const uint32_t* codes) const;
 
   LogisticRegressionConfig config_;
   OneHotMap one_hot_;

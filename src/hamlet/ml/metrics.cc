@@ -1,9 +1,6 @@
 #include "hamlet/ml/metrics.h"
 
-#include <algorithm>
 #include <cassert>
-
-#include "hamlet/common/parallel.h"
 
 namespace hamlet {
 namespace ml {
@@ -30,14 +27,15 @@ double ConfusionMatrix::f1() const {
   return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
 }
 
-namespace {
-
-/// Confusion counts for view rows [begin, end).
-ConfusionMatrix EvaluateRange(const Classifier& model, const DataView& view,
-                              size_t begin, size_t end) {
+ConfusionMatrix Evaluate(const Classifier& model, const DataView& view) {
+  // PredictAll scores rows concurrently on the parallel pool, and the hot
+  // learners override it with a dense CodeMatrix path; the integer counts
+  // below then accumulate in row order regardless of thread count, so the
+  // result matches the serial path bit for bit.
+  const std::vector<uint8_t> preds = model.PredictAll(view);
   ConfusionMatrix cm;
-  for (size_t i = begin; i < end; ++i) {
-    const uint8_t pred = model.Predict(view, i);
+  for (size_t i = 0; i < preds.size(); ++i) {
+    const uint8_t pred = preds[i];
     const uint8_t truth = view.label(i);
     if (pred == 1 && truth == 1) {
       ++cm.tp;
@@ -48,34 +46,6 @@ ConfusionMatrix EvaluateRange(const Classifier& model, const DataView& view,
     } else {
       ++cm.fn;
     }
-  }
-  return cm;
-}
-
-}  // namespace
-
-ConfusionMatrix Evaluate(const Classifier& model, const DataView& view) {
-  const size_t n = view.num_rows();
-  // Rows score independently (Predict is const); chunks of rows run on the
-  // parallel pool and the integer counts sum identically in any order, so
-  // the result matches the serial path bit for bit. Small views skip the
-  // fan-out overhead.
-  constexpr size_t kRowsPerChunk = 256;
-  if (n < 2 * kRowsPerChunk) return EvaluateRange(model, view, 0, n);
-
-  const size_t num_chunks = (n + kRowsPerChunk - 1) / kRowsPerChunk;
-  std::vector<ConfusionMatrix> partial(num_chunks);
-  parallel::ParallelFor(num_chunks, [&](size_t c) {
-    const size_t begin = c * kRowsPerChunk;
-    partial[c] =
-        EvaluateRange(model, view, begin, std::min(n, begin + kRowsPerChunk));
-  });
-  ConfusionMatrix cm;
-  for (const ConfusionMatrix& p : partial) {
-    cm.tp += p.tp;
-    cm.tn += p.tn;
-    cm.fp += p.fp;
-    cm.fn += p.fn;
   }
   return cm;
 }

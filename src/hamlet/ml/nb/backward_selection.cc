@@ -91,5 +91,16 @@ uint8_t BackwardSelectionClassifier::Predict(const DataView& view,
   return model_->Predict(sub, 0);
 }
 
+std::vector<uint8_t> BackwardSelectionClassifier::PredictAll(
+    const DataView& view) const {
+  // One projection for the whole batch instead of a one-row view per
+  // prediction; the base model's PredictAll then materialises the
+  // projected view densely.
+  std::vector<uint32_t> cols;
+  cols.reserve(selected_.size());
+  for (uint32_t j : selected_) cols.push_back(view.feature_id(j));
+  return model_->PredictAll(view.WithFeatures(std::move(cols)));
+}
+
 }  // namespace ml
 }  // namespace hamlet

@@ -32,6 +32,10 @@ class BackwardSelectionClassifier : public Classifier {
 
   Status Fit(const DataView& train) override;
   uint8_t Predict(const DataView& view, size_t i) const override;
+  /// Projects the view onto the selected subset once and delegates to the
+  /// base model's batch path (dense for NaiveBayes); bit-identical to
+  /// per-row Predict.
+  std::vector<uint8_t> PredictAll(const DataView& view) const override;
   std::string name() const override;
 
   /// Selected *view-feature* indices (into the training view's features).

@@ -9,12 +9,15 @@ namespace ml {
 NaiveBayes::NaiveBayes(NaiveBayesConfig config) : config_(config) {}
 
 Status NaiveBayes::Fit(const DataView& train) {
-  const size_t n = train.num_rows();
-  if (n == 0) return Status::InvalidArgument("empty training view");
-  d_ = train.num_features();
+  if (train.num_rows() == 0) {
+    return Status::InvalidArgument("empty training view");
+  }
+  const CodeMatrix m(train);
+  const size_t n = m.num_rows();
+  d_ = m.num_features();
 
   size_t pos = 0;
-  for (size_t i = 0; i < n; ++i) pos += train.label(i);
+  for (size_t i = 0; i < n; ++i) pos += m.label(i);
   const size_t neg = n - pos;
   // Priors with the same pseudocount to stay defined for one-class data.
   const double a = config_.pseudocount;
@@ -23,45 +26,77 @@ Status NaiveBayes::Fit(const DataView& train) {
   log_prior_[0] = std::log((static_cast<double>(neg) + a) /
                            (static_cast<double>(n) + 2.0 * a));
 
+  // One row-major pass over the dense matrix fills every feature's
+  // (code, label) counts in a single flat buffer (prefix offsets of
+  // 2 * domain_size per feature), so the hot loop has no per-feature
+  // pointer chase. Each cell accumulates in row order, so the result is
+  // identical to the previous per-feature column scans.
+  std::vector<size_t> offsets(d_ + 1, 0);
+  for (size_t j = 0; j < d_; ++j) {
+    offsets[j + 1] = offsets[j] + static_cast<size_t>(m.domain_size(j)) * 2;
+  }
+  std::vector<double> counts(offsets[d_], 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t* row = m.row(i);
+    const uint8_t label = m.label(i);
+    for (size_t j = 0; j < d_; ++j) {
+      // In the flat buffer an out-of-domain code would silently corrupt
+      // the next feature's counts instead of tripping ASan; keep the
+      // domain guarantee visible in checked builds.
+      assert(row[j] < m.domain_size(j));
+      counts[offsets[j] + static_cast<size_t>(row[j]) * 2 + label] += 1.0;
+    }
+  }
+
   log_likelihood_.assign(d_, {});
   for (size_t j = 0; j < d_; ++j) {
-    const uint32_t domain = train.domain_size(j);
-    std::vector<double> counts(static_cast<size_t>(domain) * 2, 0.0);
-    for (size_t i = 0; i < n; ++i) {
-      const uint32_t c = train.feature(i, j);
-      counts[static_cast<size_t>(c) * 2 + train.label(i)] += 1.0;
-    }
+    const uint32_t domain = m.domain_size(j);
     const double denom_pos =
         static_cast<double>(pos) + a * static_cast<double>(domain);
     const double denom_neg =
         static_cast<double>(neg) + a * static_cast<double>(domain);
+    const double* feature_counts = counts.data() + offsets[j];
     std::vector<double>& ll = log_likelihood_[j];
-    ll.resize(counts.size());
+    ll.resize(static_cast<size_t>(domain) * 2);
     for (uint32_t c = 0; c < domain; ++c) {
       ll[static_cast<size_t>(c) * 2 + 1] =
-          std::log((counts[static_cast<size_t>(c) * 2 + 1] + a) / denom_pos);
+          std::log((feature_counts[static_cast<size_t>(c) * 2 + 1] + a) /
+                   denom_pos);
       ll[static_cast<size_t>(c) * 2 + 0] =
-          std::log((counts[static_cast<size_t>(c) * 2 + 0] + a) / denom_neg);
+          std::log((feature_counts[static_cast<size_t>(c) * 2 + 0] + a) /
+                   denom_neg);
     }
   }
   return Status::OK();
 }
 
-double NaiveBayes::LogOdds(const DataView& view, size_t i) const {
-  assert(view.num_features() == d_);
+double NaiveBayes::LogOddsOfCodes(const uint32_t* codes) const {
   double odds = log_prior_[1] - log_prior_[0];
   for (size_t j = 0; j < d_; ++j) {
-    const uint32_t c = view.feature(i, j);
     const std::vector<double>& ll = log_likelihood_[j];
-    const size_t base = static_cast<size_t>(c) * 2;
+    const size_t base = static_cast<size_t>(codes[j]) * 2;
     assert(base + 1 < ll.size());
     odds += ll[base + 1] - ll[base];
   }
   return odds;
 }
 
+double NaiveBayes::LogOdds(const DataView& view, size_t i) const {
+  assert(view.num_features() == d_);
+  // Materialise the row once and share the summation with the dense
+  // batch path.
+  return LogOddsOfCodes(view.ScratchRowCodes(i));
+}
+
 uint8_t NaiveBayes::Predict(const DataView& view, size_t i) const {
   return LogOdds(view, i) >= 0.0 ? 1 : 0;
+}
+
+std::vector<uint8_t> NaiveBayes::PredictAll(const DataView& view) const {
+  assert(view.num_features() == d_);
+  return DensePredictAll(view, [&](const CodeMatrix& queries, size_t i) {
+    return LogOddsOfCodes(queries.row(i)) >= 0.0 ? uint8_t{1} : uint8_t{0};
+  });
 }
 
 }  // namespace ml

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "hamlet/data/code_matrix.h"
 #include "hamlet/ml/classifier.h"
 
 namespace hamlet {
@@ -30,10 +31,16 @@ class NaiveBayes : public Classifier {
 
   Status Fit(const DataView& train) override;
   uint8_t Predict(const DataView& view, size_t i) const override;
+  /// Dense batch path: materialises `view` into a CodeMatrix once;
+  /// bit-identical to per-row Predict.
+  std::vector<uint8_t> PredictAll(const DataView& view) const override;
   std::string name() const override { return "naive-bayes"; }
 
   /// Log P(y=1|x) - log P(y=0|x) for row i of `view`.
   double LogOdds(const DataView& view, size_t i) const;
+
+  /// Same, for an already-materialised row of num_features codes.
+  double LogOddsOfCodes(const uint32_t* codes) const;
 
  private:
   NaiveBayesConfig config_;

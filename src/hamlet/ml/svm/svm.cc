@@ -15,26 +15,20 @@ Status KernelSvm::Fit(const DataView& train) {
   if (train.num_rows() == 0) {
     return Status::InvalidArgument("empty training view");
   }
-  d_ = train.num_features();
-  size_t n = train.num_rows();
-  if (config_.max_train_rows > 0 && n > config_.max_train_rows) {
-    n = config_.max_train_rows;
-  }
+  // Materialise once (prefix subsample when capped; the view's row order
+  // is already a shuffle of the original data); the Gram computation and
+  // support-vector extraction below run on the dense buffer.
+  const CodeMatrix m(train, config_.max_train_rows);
+  d_ = m.num_features();
+  const size_t n = m.num_rows();
 
-  // Copy training rows row-major (prefix subsample when capped; the view's
-  // row order is already a shuffle of the original data).
-  std::vector<uint32_t> rows(n * d_);
-  std::vector<int8_t> y(n);
-  for (size_t i = 0; i < n; ++i) {
-    for (size_t j = 0; j < d_; ++j) rows[i * d_ + j] = train.feature(i, j);
-    y[i] = train.label(i) == 1 ? 1 : -1;
-  }
-
-  bool has_pos = false, has_neg = false;
-  for (int8_t v : y) (v == 1 ? has_pos : has_neg) = true;
-  if (!has_pos || !has_neg) {
+  size_t pos = 0;
+  for (size_t i = 0; i < n; ++i) pos += m.label(i);
+  if (pos == 0 || pos == n || d_ == 0) {
+    // Single-class data, or no features to separate on: fall back to a
+    // constant prediction at the majority label (ties go to 1).
     is_constant_ = true;
-    constant_prediction_ = has_pos ? 1 : 0;
+    constant_prediction_ = (2 * pos >= n) ? 1 : 0;
     converged_ = true;
     sv_rows_.clear();
     sv_coeff_.clear();
@@ -42,7 +36,10 @@ Status KernelSvm::Fit(const DataView& train) {
   }
   is_constant_ = false;
 
-  const std::vector<float> gram = ComputeGram(config_.kernel, rows, n, d_);
+  std::vector<int8_t> y(n);
+  for (size_t i = 0; i < n; ++i) y[i] = m.label(i) == 1 ? 1 : -1;
+
+  const std::vector<float> gram = ComputeGram(config_.kernel, m.codes(), n, d_);
   SmoConfig smo_cfg;
   smo_cfg.C = config_.C;
   smo_cfg.tolerance = config_.tolerance;
@@ -54,6 +51,7 @@ Status KernelSvm::Fit(const DataView& train) {
   bias_ = sol.value().bias;
   sv_rows_.clear();
   sv_coeff_.clear();
+  const std::vector<uint32_t>& rows = m.codes();
   for (size_t i = 0; i < n; ++i) {
     const double a = sol.value().alpha[i];
     if (a > 1e-10) {
@@ -65,22 +63,35 @@ Status KernelSvm::Fit(const DataView& train) {
   return Status::OK();
 }
 
-double KernelSvm::DecisionValue(const DataView& view, size_t i) const {
-  assert(view.num_features() == d_);
-  std::vector<uint32_t> query(d_);
-  for (size_t j = 0; j < d_; ++j) query[j] = view.feature(i, j);
+double KernelSvm::DecisionValueOfCodes(const uint32_t* query) const {
   double f = bias_;
   const size_t num_sv = sv_coeff_.size();
   for (size_t s = 0; s < num_sv; ++s) {
     f += sv_coeff_[s] *
-         KernelEval(config_.kernel, &sv_rows_[s * d_], query.data(), d_);
+         KernelEval(config_.kernel, &sv_rows_[s * d_], query, d_);
   }
   return f;
+}
+
+double KernelSvm::DecisionValue(const DataView& view, size_t i) const {
+  assert(view.num_features() == d_);
+  return DecisionValueOfCodes(view.ScratchRowCodes(i));
 }
 
 uint8_t KernelSvm::Predict(const DataView& view, size_t i) const {
   if (is_constant_) return constant_prediction_;
   return DecisionValue(view, i) >= 0.0 ? 1 : 0;
+}
+
+std::vector<uint8_t> KernelSvm::PredictAll(const DataView& view) const {
+  if (is_constant_) {
+    return std::vector<uint8_t>(view.num_rows(), constant_prediction_);
+  }
+  assert(view.num_features() == d_);
+  return DensePredictAll(view, [&](const CodeMatrix& queries, size_t i) {
+    return DecisionValueOfCodes(queries.row(i)) >= 0.0 ? uint8_t{1}
+                                                       : uint8_t{0};
+  });
 }
 
 }  // namespace ml

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "hamlet/data/code_matrix.h"
 #include "hamlet/ml/classifier.h"
 #include "hamlet/ml/svm/kernel.h"
 #include "hamlet/ml/svm/smo.h"
@@ -39,10 +40,17 @@ class KernelSvm : public Classifier {
 
   Status Fit(const DataView& train) override;
   uint8_t Predict(const DataView& view, size_t i) const override;
+  /// Dense batch path: materialises `view` into a CodeMatrix once and
+  /// evaluates kernels on contiguous rows; bit-identical to per-row
+  /// Predict.
+  std::vector<uint8_t> PredictAll(const DataView& view) const override;
   std::string name() const override;
 
   /// Signed decision value f(x) for row i of `view`.
   double DecisionValue(const DataView& view, size_t i) const;
+
+  /// Same, for an already-materialised query of num_features codes.
+  double DecisionValueOfCodes(const uint32_t* query) const;
 
   size_t num_support_vectors() const { return sv_rows_.size() / (d_ ? d_ : 1); }
   bool converged() const { return converged_; }

@@ -33,35 +33,38 @@ Status DecisionTree::Fit(const DataView& train) {
   if (train.num_rows() == 0) {
     return Status::InvalidArgument("empty training view");
   }
+  // Materialise once; the split scans and row partitioning below touch
+  // every (row, feature) pair at every tree level.
+  const CodeMatrix m(train);
   nodes_.clear();
   root_ = -1;
-  num_features_ = train.num_features();
+  num_features_ = m.num_features();
 
   scratch_count_.assign(num_features_, {});
   scratch_pos_.assign(num_features_, {});
   for (size_t j = 0; j < num_features_; ++j) {
-    scratch_count_[j].assign(train.domain_size(j), 0);
-    scratch_pos_[j].assign(train.domain_size(j), 0);
+    scratch_count_[j].assign(m.domain_size(j), 0);
+    scratch_pos_[j].assign(m.domain_size(j), 0);
   }
 
-  std::vector<uint32_t> rows(train.num_rows());
+  std::vector<uint32_t> rows(m.num_rows());
   std::iota(rows.begin(), rows.end(), 0u);
 
   // Root risk for the cp test: impurity(root) * n.
   size_t pos = 0;
-  for (size_t i = 0; i < train.num_rows(); ++i) pos += train.label(i);
+  for (size_t i = 0; i < m.num_rows(); ++i) pos += m.label(i);
   const double root_risk =
-      static_cast<double>(train.num_rows()) *
-      NodeImpurity(config_.criterion, pos, train.num_rows());
+      static_cast<double>(m.num_rows()) *
+      NodeImpurity(config_.criterion, pos, m.num_rows());
 
-  root_ = BuildNode(train, rows, 0, rows.size(), 0, root_risk);
+  root_ = BuildNode(m, rows, 0, rows.size(), 0, root_risk);
 
   scratch_count_.clear();
   scratch_pos_.clear();
   return Status::OK();
 }
 
-int DecisionTree::BuildNode(const DataView& train,
+int DecisionTree::BuildNode(const CodeMatrix& train,
                             std::vector<uint32_t>& rows, size_t begin,
                             size_t end, size_t depth, double root_risk) {
   const size_t n = end - begin;
@@ -98,7 +101,7 @@ int DecisionTree::BuildNode(const DataView& train,
     std::vector<uint32_t> touched;
     touched.reserve(std::min<size_t>(n, domain));
     for (size_t i = begin; i < end; ++i) {
-      const uint32_t c = train.feature(rows[i], j);
+      const uint32_t c = train.at(rows[i], j);
       if (count[c] == 0) touched.push_back(c);
       ++count[c];
       pos_count[c] += train.label(rows[i]);
@@ -156,14 +159,14 @@ int DecisionTree::BuildNode(const DataView& train,
     for (uint32_t c : best.left_codes) node.goes_left[c] = 1;
   }
   for (size_t i = begin; i < end; ++i) {
-    nodes_[node_id].code_seen[train.feature(rows[i], j)] = 1;
+    nodes_[node_id].code_seen[train.at(rows[i], j)] = 1;
   }
 
   // Partition rows in place: left block first.
   const auto middle = std::stable_partition(
       rows.begin() + static_cast<long>(begin),
       rows.begin() + static_cast<long>(end), [&](uint32_t r) {
-        return nodes_[node_id].goes_left[train.feature(r, j)] != 0;
+        return nodes_[node_id].goes_left[train.at(r, j)] != 0;
       });
   const size_t mid = static_cast<size_t>(middle - rows.begin());
   assert(mid - begin == best.n_left);
@@ -179,12 +182,24 @@ int DecisionTree::BuildNode(const DataView& train,
 }
 
 Result<uint8_t> DecisionTree::Walk(const DataView& view, size_t i) const {
+  // Guard before materialising: an unfitted tree must not touch the view.
+  if (root_ < 0) return Status::FailedPrecondition("tree not fitted");
+  // WalkCodes indexes the buffer by trained feature id, so the view must
+  // select the training feature subset (the Classifier contract).
+  assert(view.num_features() == num_features_);
+  // Materialise the row once (through the DataView access path) and share
+  // the routing logic with the dense batch walker; batch scoring should
+  // prefer PredictAll.
+  return WalkCodes(view.ScratchRowCodes(i));
+}
+
+Result<uint8_t> DecisionTree::WalkCodes(const uint32_t* codes) const {
   if (root_ < 0) return Status::FailedPrecondition("tree not fitted");
   int cur = root_;
   for (;;) {
     const TreeNode& node = nodes_[static_cast<size_t>(cur)];
     if (node.feature < 0) return node.prediction;
-    const uint32_t c = view.feature(i, static_cast<size_t>(node.feature));
+    const uint32_t c = codes[static_cast<size_t>(node.feature)];
     const bool in_domain = c < node.goes_left.size();
     const bool seen = in_domain && node.code_seen[c] != 0;
     if (!seen) {
@@ -205,14 +220,28 @@ Result<uint8_t> DecisionTree::TryPredict(const DataView& view,
   return Walk(view, i);
 }
 
+uint8_t DecisionTree::FallbackPrediction() const {
+  // Under kError the caller should use TryPredict; Predict/PredictAll
+  // fall back to the root majority so they stay total.
+  return root_ >= 0 ? nodes_[static_cast<size_t>(root_)].prediction : 0;
+}
+
 uint8_t DecisionTree::Predict(const DataView& view, size_t i) const {
   Result<uint8_t> r = Walk(view, i);
-  if (!r.ok()) {
-    // Under kError the caller should use TryPredict; fall back to the root
-    // majority so Predict stays total.
-    return root_ >= 0 ? nodes_[static_cast<size_t>(root_)].prediction : 0;
+  return r.ok() ? r.value() : FallbackPrediction();
+}
+
+std::vector<uint8_t> DecisionTree::PredictAll(const DataView& view) const {
+  // Same rule as Walk: an unfitted tree must not touch the view (and
+  // materialising it would be wasted work).
+  if (root_ < 0) {
+    return std::vector<uint8_t>(view.num_rows(), FallbackPrediction());
   }
-  return r.value();
+  assert(view.num_features() == num_features_);
+  return DensePredictAll(view, [&](const CodeMatrix& queries, size_t i) {
+    Result<uint8_t> r = WalkCodes(queries.row(i));
+    return r.ok() ? r.value() : FallbackPrediction();
+  });
 }
 
 size_t DecisionTree::num_leaves() const {

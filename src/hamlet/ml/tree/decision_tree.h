@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "hamlet/data/code_matrix.h"
 #include "hamlet/ml/classifier.h"
 #include "hamlet/ml/tree/criterion.h"
 
@@ -70,6 +71,10 @@ class DecisionTree : public Classifier {
 
   Status Fit(const DataView& train) override;
   uint8_t Predict(const DataView& view, size_t i) const override;
+  /// Dense batch path: materialises `view` into a CodeMatrix once and
+  /// routes contiguous rows; bit-identical to per-row Predict (including
+  /// the root-majority fallback under UnseenPolicy::kError).
+  std::vector<uint8_t> PredictAll(const DataView& view) const override;
   std::string name() const override;
 
   /// Status-returning prediction honouring UnseenPolicy::kError.
@@ -87,11 +92,16 @@ class DecisionTree : public Classifier {
 
  private:
   struct NodeStats;
-  int BuildNode(const DataView& train, std::vector<uint32_t>& rows,
+  int BuildNode(const CodeMatrix& train, std::vector<uint32_t>& rows,
                 size_t begin, size_t end, size_t depth, double root_risk);
-  /// Walks the tree for (view, i); returns leaf prediction or error under
-  /// kError policy.
+  /// Walks the tree for (view, i) by materialising the row and delegating
+  /// to WalkCodes; returns leaf prediction or error under kError policy.
   Result<uint8_t> Walk(const DataView& view, size_t i) const;
+  /// Walks an already-materialised row of codes (the single source of the
+  /// routing/unseen-code logic).
+  Result<uint8_t> WalkCodes(const uint32_t* codes) const;
+  /// Root-majority prediction used when Walk errors under kError.
+  uint8_t FallbackPrediction() const;
 
   DecisionTreeConfig config_;
   std::vector<TreeNode> nodes_;

@@ -116,6 +116,80 @@ TEST(DataViewTest, RowCodesMaterialises) {
   EXPECT_EQ(v.RowCodes(0), (std::vector<uint32_t>{2, 0}));
 }
 
+TEST(DataViewTest, RowCodesIntoReusesBuffer) {
+  Dataset d = MakeDataset();
+  DataView v(&d, {0, 2}, {2, 0});
+  std::vector<uint32_t> buffer(v.num_features(), 999);
+  v.RowCodesInto(0, buffer.data());
+  EXPECT_EQ(buffer, (std::vector<uint32_t>{2, 0}));
+  v.RowCodesInto(1, buffer.data());  // same buffer, next row
+  EXPECT_EQ(buffer, (std::vector<uint32_t>{1, 1}));
+  EXPECT_EQ(buffer, v.RowCodes(1));
+}
+
+TEST(DataViewTest, SelectRowsOfSelectRowsRemapsThroughBothLayers) {
+  Dataset d = MakeDataset();
+  // Layer 1: view rows map to dataset rows {3, 2, 1, 0} (reversed).
+  DataView v(&d, {3, 2, 1, 0}, {0, 1, 2});
+  // Layer 2: pick view rows {0, 2} -> dataset rows {3, 1}.
+  DataView w = v.SelectRows({0, 2});
+  // Layer 3: pick w rows {1, 0} -> dataset rows {1, 3}.
+  DataView x = w.SelectRows({1, 0});
+  ASSERT_EQ(x.num_rows(), 2u);
+  EXPECT_EQ(x.row_id(0), 1u);
+  EXPECT_EQ(x.row_id(1), 3u);
+  // Feature ids survive row selection untouched.
+  EXPECT_EQ(x.feature_id(1), 1u);
+  // And the codes follow the dataset rows, not the view indices.
+  for (size_t j = 0; j < x.num_features(); ++j) {
+    EXPECT_EQ(x.feature(0, j), d.feature(1, j));
+    EXPECT_EQ(x.feature(1, j), d.feature(3, j));
+  }
+  EXPECT_EQ(x.label(0), d.label(1));
+  EXPECT_EQ(x.label(1), d.label(3));
+}
+
+TEST(DataViewTest, WithFeaturesRoundTripRestoresOriginalColumns) {
+  Dataset d = MakeDataset();
+  DataView v(&d, {2, 0}, {0, 1, 2});
+  // Narrow to a permuted subset, then restore the original selection:
+  // WithFeatures takes underlying dataset column ids, so the round trip
+  // must reproduce the original view exactly.
+  DataView narrowed = v.WithFeatures({2, 0});
+  ASSERT_EQ(narrowed.num_features(), 2u);
+  EXPECT_EQ(narrowed.feature_id(0), 2u);
+  EXPECT_EQ(narrowed.feature(0, 0), d.feature(2, 2));
+  EXPECT_EQ(narrowed.domain_size(0), 3u);
+
+  DataView restored = narrowed.WithFeatures({0, 1, 2});
+  ASSERT_EQ(restored.num_features(), v.num_features());
+  ASSERT_EQ(restored.num_rows(), v.num_rows());
+  for (size_t i = 0; i < v.num_rows(); ++i) {
+    EXPECT_EQ(restored.row_id(i), v.row_id(i));
+    for (size_t j = 0; j < v.num_features(); ++j) {
+      EXPECT_EQ(restored.feature(i, j), v.feature(i, j));
+    }
+  }
+}
+
+TEST(DataViewTest, SelectRowsComposesWithWithFeatures) {
+  Dataset d = MakeDataset();
+  // Interleave the two composition directions; the row_id/feature_id
+  // remapping is what CodeMatrix materialisation depends on.
+  DataView v = DataView(&d).SelectRows({1, 3, 0}).WithFeatures({2, 1});
+  DataView w = v.SelectRows({2, 1});
+  ASSERT_EQ(w.num_rows(), 2u);
+  ASSERT_EQ(w.num_features(), 2u);
+  EXPECT_EQ(w.row_id(0), 0u);
+  EXPECT_EQ(w.row_id(1), 3u);
+  EXPECT_EQ(w.feature_id(0), 2u);
+  EXPECT_EQ(w.feature_id(1), 1u);
+  EXPECT_EQ(w.feature(0, 0), d.feature(0, 2));
+  EXPECT_EQ(w.feature(0, 1), d.feature(0, 1));
+  EXPECT_EQ(w.feature(1, 0), d.feature(3, 2));
+  EXPECT_EQ(w.feature(1, 1), d.feature(3, 1));
+}
+
 TEST(DataViewTest, OneHotDimensionOfSubset) {
   Dataset d = MakeDataset();
   DataView v(&d, {0, 1}, {0, 2});

@@ -21,39 +21,15 @@
 #include "hamlet/ml/grid_search.h"
 #include "hamlet/ml/metrics.h"
 #include "hamlet/ml/tree/decision_tree.h"
+#include "parity_util.h"
 
 namespace hamlet {
 namespace parallel {
 namespace {
 
-/// Sets HAMLET_THREADS and rebuilds the default pool; restores the prior
-/// value (and rebuilds again) on destruction.
-class ScopedThreads {
- public:
-  explicit ScopedThreads(const char* value) {
-    const char* old = std::getenv("HAMLET_THREADS");
-    had_old_ = old != nullptr;
-    if (had_old_) old_ = old;
-    if (value == nullptr) {
-      unsetenv("HAMLET_THREADS");
-    } else {
-      setenv("HAMLET_THREADS", value, 1);
-    }
-    ResetDefaultPoolForTesting();
-  }
-  ~ScopedThreads() {
-    if (had_old_) {
-      setenv("HAMLET_THREADS", old_.c_str(), 1);
-    } else {
-      unsetenv("HAMLET_THREADS");
-    }
-    ResetDefaultPoolForTesting();
-  }
-
- private:
-  bool had_old_ = false;
-  std::string old_;
-};
+// The HAMLET_THREADS-pinning RAII helper is shared with the CodeMatrix
+// parity harness.
+using hamlet::test::ScopedThreads;
 
 // ------------------------------------------------------------ primitives --
 
