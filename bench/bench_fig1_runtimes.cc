@@ -100,5 +100,6 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  bench::PrintSvmCacheStats();
   return bench::ExitCode();
 }

@@ -57,5 +57,6 @@ int main() {
       "Expected shape (paper Fig. 3): 1-NN NoJoin degrades early (already\n"
       "at nR ~ 10); RBF-SVM NoJoin tracks JoinAll until the tuple ratio\n"
       "falls below ~6 (nR ~ 80+ at nS = 1000 -> 500 train rows).\n");
+  bench::PrintSvmCacheStats();
   return bench::ExitCode();
 }

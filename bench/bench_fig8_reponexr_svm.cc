@@ -54,5 +54,6 @@ int main() {
   std::printf(
       "Expected shape (paper Fig. 8): NoJoin ~ JoinAll in (A); a visible\n"
       "NoJoin deviation opens in (B), the ~5x tuple-ratio regime.\n");
+  bench::PrintSvmCacheStats();
   return bench::ExitCode();
 }

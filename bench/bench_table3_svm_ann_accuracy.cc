@@ -39,5 +39,6 @@ int main() {
       "everywhere except Yelp (and LastFM/Books for the RBF-SVM); the\n"
       "Yelp drop is smaller for RBF-SVM/ANN (~0.01) than for NB/LR "
       "(~0.03).\n");
+  bench::PrintSvmCacheStats();
   return bench::ExitCode();
 }

@@ -33,5 +33,6 @@ int main() {
   std::printf(
       "\nExpected shape (paper Table 6): JoinAll ~ NoJoin train accuracy\n"
       "within each model family; kernel SVMs overfit more than linear.\n");
+  bench::PrintSvmCacheStats();
   return bench::ExitCode();
 }

@@ -24,6 +24,7 @@
 #include "hamlet/ml/bias_variance.h"
 #include "hamlet/ml/knn/one_nn.h"
 #include "hamlet/ml/metrics.h"
+#include "hamlet/ml/svm/kernel_cache.h"
 #include "hamlet/ml/svm/svm.h"
 #include "hamlet/ml/tree/decision_tree.h"
 #include "hamlet/synth/realworld.h"
@@ -125,6 +126,27 @@ inline void PrintRow(const std::vector<std::string>& cells, size_t width) {
     std::printf("%s", PadRight(cell, width).c_str());
   }
   std::printf("\n");
+}
+
+/// Prints the process-wide SMO kernel-row cache counters in a stable,
+/// machine-parseable form. The SVM-heavy benches (fig1, fig3, fig8,
+/// table3, table6) call this after their tables so run_all.py can record
+/// cache effectiveness in BENCH_results.json across commits. Counters
+/// aggregate over every fit in the process (all grid cells, all
+/// Monte-Carlo runs); hit_rate is n/a when no SVM fit ran (e.g. fig1's
+/// smoke roster).
+inline void PrintSvmCacheStats() {
+  const ml::KernelCacheTotals totals = ml::GlobalKernelCacheTotals();
+  const uint64_t accesses = totals.hits + totals.misses;
+  std::printf("[svm-cache] hits=%llu misses=%llu hit_rate=",
+              static_cast<unsigned long long>(totals.hits),
+              static_cast<unsigned long long>(totals.misses));
+  if (accesses == 0) {
+    std::printf("n/a\n");
+  } else {
+    std::printf("%.4f\n", static_cast<double>(totals.hits) /
+                              static_cast<double>(accesses));
+  }
 }
 
 /// Which model a figure bench trains inside its Monte-Carlo loop.

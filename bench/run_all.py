@@ -24,9 +24,35 @@ HAMLET_BENCH_BASELINE), so CI artifacts record the perf delta.
 import argparse
 import json
 import os
+import re
 import subprocess
 import sys
 import time
+
+# Wall times below this are rounding noise (seconds are rounded to 1 ms);
+# dividing by them turns the informational speedup column into inf or a
+# ZeroDivisionError, so such comparisons are reported as null instead.
+MIN_COMPARABLE_SECONDS = 1e-3
+
+# Stable marker printed by bench::PrintSvmCacheStats (SVM-heavy benches):
+# "[svm-cache] hits=123 misses=45 hit_rate=0.7321" (hit_rate=n/a when no
+# SVM fit ran in the process).
+SVM_CACHE_RE = re.compile(
+    r"^\[svm-cache\] hits=(\d+) misses=(\d+) hit_rate=", re.MULTILINE)
+
+
+def parse_svm_cache(output: str):
+    """Extracts the kernel-row cache counters a bench printed, if any."""
+    matches = SVM_CACHE_RE.findall(output)
+    if not matches:
+        return None
+    hits, misses = (int(v) for v in matches[-1])
+    total = hits + misses
+    return {
+        "hits": hits,
+        "misses": misses,
+        "hit_rate": round(hits / total, 4) if total else None,
+    }
 
 
 def run_one(path: str, mode: str, timeout_s: int) -> dict:
@@ -64,6 +90,10 @@ def run_one(path: str, mode: str, timeout_s: int) -> dict:
         "seconds": round(seconds, 3),
         "exit_code": exit_code,
         "ok": exit_code == 0,
+        # Kernel-row cache counters (SVM-heavy benches print them; null
+        # for benches that don't) so CI artifacts track cache
+        # effectiveness across commits.
+        "svm_cache": parse_svm_cache(output),
         "stdout_tail": tail,
     }
 
@@ -105,14 +135,29 @@ def main() -> int:
         result = run_one(path, args.mode, args.timeout)
         status = "ok" if result["ok"] else f"FAILED ({result['exit_code']})"
         base = baseline_seconds.get(result["name"])
-        if base and result["seconds"] > 0:
-            result["speedup_vs_baseline"] = round(base / result["seconds"], 3)
-            status += f", {result['speedup_vs_baseline']}x vs baseline"
+        if base is not None:
+            # Zero/near-zero wall times (possible for the fastest benches
+            # in smoke mode) make the ratio meaningless: record null
+            # rather than inf or a ZeroDivisionError.
+            if (isinstance(base, (int, float))
+                    and base >= MIN_COMPARABLE_SECONDS
+                    and result["seconds"] >= MIN_COMPARABLE_SECONDS):
+                result["speedup_vs_baseline"] = round(
+                    base / result["seconds"], 3)
+                status += f", {result['speedup_vs_baseline']}x vs baseline"
+            else:
+                result["speedup_vs_baseline"] = None
+                status += ", speedup not comparable"
+        cache = result["svm_cache"]
+        if cache and cache["hit_rate"] is not None:
+            status += f", cache hit rate {cache['hit_rate']}"
         print(f"[run_all]   {status} in {result['seconds']}s", flush=True)
         results.append(result)
 
     report = {
-        "schema_version": 2,
+        # v3: per-bench svm_cache counters; speedup_vs_baseline may be
+        # null when either wall time is too small to compare.
+        "schema_version": 3,
         "suite": "hamlet-bench",
         "mode": args.mode,
         # Wall times are only comparable at equal parallelism, so pin the
@@ -133,11 +178,12 @@ def main() -> int:
           f"(HAMLET_THREADS={report['hamlet_threads'] or 'default'}, "
           f"{report['host_cores']} cores)")
     if baseline_seconds:
-        compared = [r for r in results if "speedup_vs_baseline" in r]
-        if compared:
-            total_base = sum(baseline_seconds[r["name"]] for r in compared)
-            total_now = sum(r["seconds"] for r in compared)
-            overall = total_base / total_now if total_now > 0 else 0.0
+        compared = [r for r in results
+                    if r.get("speedup_vs_baseline") is not None]
+        total_base = sum(baseline_seconds[r["name"]] for r in compared)
+        total_now = sum(r["seconds"] for r in compared)
+        if compared and total_now >= MIN_COMPARABLE_SECONDS:
+            overall = total_base / total_now
             print(f"[run_all] overall speedup vs {args.baseline}: "
                   f"{overall:.3f}x over {len(compared)} benches")
     return 1 if report["num_failed"] else 0

@@ -77,7 +77,8 @@ class CodeMatrix {
   }
 
   /// Flat row-major code buffer (num_rows * num_features entries); the
-  /// layout ComputeGram and the distance kernels consume directly.
+  /// layout the kernel-row cache and the distance kernels consume
+  /// directly.
   const std::vector<uint32_t>& codes() const { return codes_; }
   const std::vector<uint8_t>& labels() const { return labels_; }
   const std::vector<uint32_t>& domain_sizes() const { return domain_sizes_; }

@@ -45,7 +45,9 @@ double KernelEval(const KernelConfig& config, const uint32_t* a,
                   const uint32_t* b, size_t d);
 
 /// Dense symmetric Gram matrix over `rows` (n rows of length d, row-major),
-/// stored row-major as n*n floats. Used by the SMO solver's cache.
+/// stored row-major as n*n floats. The production fit path computes rows
+/// lazily instead (ml::KernelCache); this full materialisation remains
+/// for the FullGramRowSource adapter, parity tests and ad-hoc analysis.
 std::vector<float> ComputeGram(const KernelConfig& config,
                                const std::vector<uint32_t>& rows, size_t n,
                                size_t d);

@@ -1,0 +1,168 @@
+#include "hamlet/ml/svm/kernel_cache.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <string>
+
+#include "hamlet/common/logging.h"
+
+namespace hamlet {
+namespace ml {
+
+namespace {
+
+/// Process-wide totals, accumulated when caches are destroyed. Relaxed
+/// atomics: concurrent grid-search fits each own a private cache and only
+/// the sums are shared; readers (bench reporting) run after the fits.
+std::atomic<uint64_t> g_total_hits{0};
+std::atomic<uint64_t> g_total_misses{0};
+
+}  // namespace
+
+KernelCacheTotals GlobalKernelCacheTotals() {
+  KernelCacheTotals totals;
+  totals.hits = g_total_hits.load(std::memory_order_relaxed);
+  totals.misses = g_total_misses.load(std::memory_order_relaxed);
+  return totals;
+}
+
+size_t KernelCacheBytesFromEnv() {
+  const char* value = std::getenv("HAMLET_SMO_CACHE_MB");
+  if (value == nullptr || *value == '\0') return kDefaultKernelCacheBytes;
+  char* end = nullptr;
+  const unsigned long long mb = std::strtoull(value, &end, 10);
+  // Positive integer MiB only; the cap is 1 TiB or whatever keeps the
+  // byte product representable in size_t (4095 MiB on 32-bit hosts),
+  // whichever is smaller.
+  constexpr unsigned long long kMaxMb =
+      std::min(1ull << 20,
+               static_cast<unsigned long long>(
+                   std::numeric_limits<size_t>::max() >> 20));
+  if (end == value || *end != '\0' || mb == 0 || mb > kMaxMb) {
+    if (FirstOccurrence(std::string("smo_cache_mb:") + value)) {
+      std::fprintf(stderr,
+                   "hamlet: unrecognized HAMLET_SMO_CACHE_MB=\"%s\" "
+                   "(expected a positive integer number of MiB); using "
+                   "the default %zu MiB\n",
+                   value, kDefaultKernelCacheBytes >> 20);
+    }
+    return kDefaultKernelCacheBytes;
+  }
+  return static_cast<size_t>(mb) << 20;
+}
+
+KernelCache::KernelCache(CodeMatrix matrix, const KernelConfig& kernel,
+                         size_t cache_bytes)
+    : matrix_(std::move(matrix)), kernel_(kernel) {
+  const size_t n = matrix_.num_rows();
+  if (cache_bytes == 0) cache_bytes = KernelCacheBytesFromEnv();
+  const size_t row_bytes = (n == 0 ? 1 : n) * sizeof(float);
+  // Clamp to [1, max(n, 1)] rows: always one cacheable row, never more
+  // slots than the problem has rows (an empty matrix keeps a single
+  // dummy slot instead of budget/4 phantom ones).
+  size_t rows = cache_bytes / row_bytes;
+  if (rows < 1) rows = 1;
+  const size_t max_rows = n > 0 ? n : 1;
+  if (rows > max_rows) rows = max_rows;
+  capacity_rows_ = rows;
+  diag_.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t* ri = matrix_.row(i);
+    diag_[i] = static_cast<float>(
+        KernelEval(kernel_, ri, ri, matrix_.num_features()));
+  }
+  slot_of_row_.assign(n, -1);
+  row_of_slot_.assign(capacity_rows_, -1);
+  prev_.assign(capacity_rows_, -1);
+  next_.assign(capacity_rows_, -1);
+  slots_.reserve(capacity_rows_ < 64 ? capacity_rows_ : 64);
+}
+
+KernelCache::~KernelCache() {
+  g_total_hits.fetch_add(hits_, std::memory_order_relaxed);
+  g_total_misses.fetch_add(misses_, std::memory_order_relaxed);
+}
+
+bool KernelCache::Cached(size_t i) const {
+  assert(i < slot_of_row_.size());
+  return slot_of_row_[i] >= 0;
+}
+
+void KernelCache::ComputeRow(size_t i, float* out) const {
+  const size_t n = matrix_.num_rows();
+  const size_t d = matrix_.num_features();
+  const uint32_t* ri = matrix_.row(i);
+  // Same double->float narrowing as ComputeGram, so a cached row is
+  // bit-identical to the corresponding full-Gram row.
+  for (size_t t = 0; t < n; ++t) {
+    out[t] = static_cast<float>(KernelEval(kernel_, ri, matrix_.row(t), d));
+  }
+}
+
+void KernelCache::Detach(int32_t slot) {
+  const int32_t p = prev_[slot], nx = next_[slot];
+  if (p >= 0) next_[p] = nx;
+  else head_ = nx;
+  if (nx >= 0) prev_[nx] = p;
+  else tail_ = p;
+  prev_[slot] = next_[slot] = -1;
+}
+
+void KernelCache::PushFront(int32_t slot) {
+  prev_[slot] = -1;
+  next_[slot] = head_;
+  if (head_ >= 0) prev_[head_] = slot;
+  head_ = slot;
+  if (tail_ < 0) tail_ = slot;
+}
+
+void KernelCache::MoveToFront(int32_t slot) {
+  if (head_ == slot) return;
+  Detach(slot);
+  PushFront(slot);
+}
+
+float KernelCache::At(size_t i, size_t j) const {
+  assert(i < matrix_.num_rows() && j < matrix_.num_rows());
+  if (i == j) return diag_[i];
+  const int32_t si = slot_of_row_[i];
+  if (si >= 0) return slots_[static_cast<size_t>(si)][j];
+  const int32_t sj = slot_of_row_[j];
+  if (sj >= 0) return slots_[static_cast<size_t>(sj)][i];
+  return static_cast<float>(KernelEval(kernel_, matrix_.row(i),
+                                       matrix_.row(j),
+                                       matrix_.num_features()));
+}
+
+const float* KernelCache::Row(size_t i) {
+  assert(i < matrix_.num_rows());
+  int32_t slot = slot_of_row_[i];
+  if (slot >= 0) {
+    ++hits_;
+    MoveToFront(slot);
+    return slots_[static_cast<size_t>(slot)].data();
+  }
+  ++misses_;
+  if (used_slots_ < capacity_rows_) {
+    slot = static_cast<int32_t>(used_slots_++);
+    slots_.emplace_back(matrix_.num_rows());
+  } else {
+    // Evict the least-recently-used row and reuse its storage.
+    slot = tail_;
+    assert(slot >= 0);
+    slot_of_row_[static_cast<size_t>(row_of_slot_[slot])] = -1;
+    Detach(slot);
+  }
+  ComputeRow(i, slots_[static_cast<size_t>(slot)].data());
+  row_of_slot_[slot] = static_cast<int32_t>(i);
+  slot_of_row_[i] = slot;
+  PushFront(slot);
+  return slots_[static_cast<size_t>(slot)].data();
+}
+
+}  // namespace ml
+}  // namespace hamlet

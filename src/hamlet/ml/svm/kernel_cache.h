@@ -1,0 +1,122 @@
+// Lazy kernel-row LRU cache for the SMO solver (libsvm-style).
+//
+// The previous SVM fit path materialised the full n x n Gram matrix
+// upfront even though SMO only touches a handful of rows per working-set
+// pass. KernelCache owns the dense CodeMatrix snapshot of the training
+// view and computes kernel rows on demand via KernelEval, keeping the
+// most-recently-used rows resident under a byte budget. Peak memory drops
+// from O(n^2) to O(min(n, budget/row)) and early-converging grid cells
+// skip most of the Gram entirely; because grid search fits many (C,
+// gamma) cells concurrently over the same training view, the saving
+// multiplies across the whole grid.
+//
+// Not thread-safe: one cache belongs to one fit, matching the solver's
+// serial inner loop. Process-wide hit/miss totals (for bench reporting
+// across concurrent grid fits) are aggregated atomically when a cache is
+// destroyed — see GlobalKernelCacheTotals().
+
+#ifndef HAMLET_ML_SVM_KERNEL_CACHE_H_
+#define HAMLET_ML_SVM_KERNEL_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "hamlet/data/code_matrix.h"
+#include "hamlet/ml/svm/kernel.h"
+#include "hamlet/ml/svm/smo.h"
+
+namespace hamlet {
+namespace ml {
+
+/// Default kernel-row cache budget: 64 MiB holds every row the paper's
+/// training caps produce (n <= 3000 -> 12 KiB/row, ~36 MiB total), so the
+/// default never recomputes a row while large ad-hoc problems stay capped.
+inline constexpr size_t kDefaultKernelCacheBytes = 64u << 20;
+
+/// Resolves the cache budget from HAMLET_SMO_CACHE_MB: a positive integer
+/// number of MiB, or unset/empty for kDefaultKernelCacheBytes. Anything
+/// unparseable (non-numeric, zero, > 1 TiB) warns on stderr once per
+/// distinct value and falls back to the default, mirroring
+/// core::BenchModeFromEnv.
+size_t KernelCacheBytesFromEnv();
+
+/// Process-wide kernel-cache counters, summed over destroyed caches.
+struct KernelCacheTotals {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+};
+
+/// Snapshot of the totals accumulated so far (all fits in this process).
+KernelCacheTotals GlobalKernelCacheTotals();
+
+/// LRU cache of kernel rows over an owned CodeMatrix.
+class KernelCache : public KernelRowSource {
+ public:
+  /// Takes ownership of `matrix` (the training snapshot) and computes
+  /// rows with `kernel`. `cache_bytes` is the resident-row budget in
+  /// bytes; 0 means KernelCacheBytesFromEnv(). At least one row is always
+  /// cacheable, and the budget is clamped to n rows (a full cache).
+  KernelCache(CodeMatrix matrix, const KernelConfig& kernel,
+              size_t cache_bytes = 0);
+  ~KernelCache() override;
+
+  KernelCache(const KernelCache&) = delete;
+  KernelCache& operator=(const KernelCache&) = delete;
+
+  /// Kernel row i (n floats, identical bit pattern to ComputeGram's row).
+  /// The pointer is valid until the next Row() call on this cache —
+  /// until the next call for a DIFFERENT row when CanServeTwoRows().
+  const float* Row(size_t i) override;
+
+  /// Serves diagonal entries from a precomputed per-fit array (libsvm's
+  /// QD — the diagonal never changes), reads a resident row when either
+  /// i's or j's row is cached (the matrix is symmetric) and falls back
+  /// to a single O(d) KernelEval otherwise. Never computes or evicts a
+  /// row and never counts as a hit or miss.
+  float At(size_t i, size_t j) const override;
+
+  size_t size() const override { return matrix_.num_rows(); }
+  /// With capacity >= 2 the most-recently-used row is never the eviction
+  /// victim, so a fetched row survives one subsequent fetch.
+  bool CanServeTwoRows() const override { return capacity_rows_ >= 2; }
+  uint64_t hits() const override { return hits_; }
+  uint64_t misses() const override { return misses_; }
+
+  /// The owned training snapshot (support-vector extraction reads codes
+  /// from here after the solve).
+  const CodeMatrix& matrix() const { return matrix_; }
+
+  /// Maximum number of rows resident at once under the byte budget.
+  size_t capacity_rows() const { return capacity_rows_; }
+  /// Number of rows currently resident.
+  size_t resident_rows() const { return used_slots_; }
+  /// True if row i is resident (test hook for eviction-order checks).
+  bool Cached(size_t i) const;
+
+ private:
+  void ComputeRow(size_t i, float* out) const;
+  void MoveToFront(int32_t slot);
+  void PushFront(int32_t slot);
+  void Detach(int32_t slot);
+
+  CodeMatrix matrix_;
+  KernelConfig kernel_;
+  std::vector<float> diag_;  // K(x_i, x_i), fixed per fit
+  size_t capacity_rows_ = 1;
+  std::vector<std::vector<float>> slots_;  // grown lazily up to capacity
+  std::vector<int32_t> slot_of_row_;       // n entries, -1 = not resident
+  std::vector<int32_t> row_of_slot_;
+  std::vector<int32_t> prev_;  // LRU list over slots; head = MRU
+  std::vector<int32_t> next_;
+  int32_t head_ = -1;
+  int32_t tail_ = -1;
+  size_t used_slots_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace ml
+}  // namespace hamlet
+
+#endif  // HAMLET_ML_SVM_KERNEL_CACHE_H_

@@ -8,26 +8,54 @@
 namespace hamlet {
 namespace ml {
 
+double DegenerateEndpointAj(double lo, double hi, double ai_old,
+                            double aj_old, double yi, double yj,
+                            double error_i, double error_j, double bias,
+                            double kii, double kjj, double kij) {
+  // Pair-restricted dual objective (others fixed, constants dropped):
+  //   psi(a1, a2) = 1/2 kii a1^2 + 1/2 kjj a2^2 + s kij a1 a2
+  //                 + f1 a1 + f2 a2
+  // with a1 tied to a2 by the equality constraint. f1/f2 follow Platt's
+  // pseudocode (§12.2.1) with the bias sign flipped for our f = sum + b
+  // convention (Platt uses u = w.x - b).
+  const double s = yi * yj;
+  const double f1 = yi * (error_i - bias) - ai_old * kii - s * aj_old * kij;
+  const double f2 = yj * (error_j - bias) - s * ai_old * kij - aj_old * kjj;
+  const double l1 = ai_old + s * (aj_old - lo);
+  const double h1 = ai_old + s * (aj_old - hi);
+  const double lobj = 0.5 * l1 * l1 * kii + 0.5 * lo * lo * kjj +
+                      s * lo * l1 * kij + l1 * f1 + lo * f2;
+  const double hobj = 0.5 * h1 * h1 * kii + 0.5 * hi * hi * kjj +
+                      s * hi * h1 * kij + h1 * f1 + hi * f2;
+  // Minimise; a tie within rounding noise means no progress at either
+  // end, so stay put (the caller's no-movement check then returns false
+  // instead of shuffling mass between equivalent iterates).
+  const double eps =
+      1e-12 * (std::abs(lobj) + std::abs(hobj) + 1.0);
+  if (lobj < hobj - eps) return lo;
+  if (hobj < lobj - eps) return hi;
+  return aj_old;
+}
+
 namespace {
 
 /// f(x_i) - y_i maintained for every point (the SMO error cache).
 struct Solver {
-  const std::vector<float>& gram;
+  KernelRowSource& rows;
   const std::vector<int8_t>& y;
   const SmoConfig& cfg;
   size_t n;
   std::vector<double> alpha;
   std::vector<double> error;  // f(x_i) - y_i; with alpha = 0, f = bias = 0
+  std::vector<float> row_i;   // scratch copy of kernel row i (see below)
   double bias = 0.0;
 
-  Solver(const std::vector<float>& g, const std::vector<int8_t>& labels,
+  Solver(KernelRowSource& kernel_rows, const std::vector<int8_t>& labels,
          const SmoConfig& config)
-      : gram(g), y(labels), cfg(config), n(labels.size()),
-        alpha(n, 0.0), error(n) {
+      : rows(kernel_rows), y(labels), cfg(config), n(labels.size()),
+        alpha(n, 0.0), error(n), row_i(n) {
     for (size_t i = 0; i < n; ++i) error[i] = -static_cast<double>(y[i]);
   }
-
-  const float* Row(size_t i) const { return &gram[i * n]; }
 
   /// Selects the maximal violating pair (i, j); returns false at optimum.
   bool SelectPair(size_t& out_i, size_t& out_j) const {
@@ -75,19 +103,42 @@ struct Solver {
     }
     if (lo >= hi) return false;
 
-    const double kii = Row(i)[i], kjj = Row(j)[j], kij = Row(i)[j];
+    // Probe the three kernel entries the step-size computation needs as
+    // single O(d) evaluations (bit-identical to the row entries) so a
+    // no-progress probe — a box-clipped pair here, or the stuck-pair
+    // fallback scan below — never pays for full row fetches.
+    const double kii = rows.At(i, i), kjj = rows.At(j, j),
+                 kij = rows.At(i, j);
     const double eta = kii + kjj - 2.0 * kij;
     double aj_new;
     if (eta > 1e-12) {
       aj_new = aj_old + yj * (error[i] - error[j]) / eta;
       aj_new = std::clamp(aj_new, lo, hi);
     } else {
-      // Degenerate curvature: move to the better box end.
-      aj_new = (yj * (error[i] - error[j]) > 0.0) ? hi : lo;
+      // Degenerate curvature (duplicate or near-duplicate rows): the
+      // pair objective is linear or concave along the constraint line,
+      // so evaluate it at both clipped ends and take the lower (Platt).
+      aj_new = DegenerateEndpointAj(lo, hi, ai_old, aj_old, yi, yj,
+                                    error[i], error[j], bias, kii, kjj,
+                                    kij);
     }
     if (std::abs(aj_new - aj_old) < 1e-12 * (aj_new + aj_old + 1e-12)) {
       return false;
     }
+
+    // Committed: fetch both kernel rows for the error-cache refresh. A
+    // source that cannot hold two rows at once (a 1-row cache reuses
+    // its storage immediately) has row i staged through a scratch copy
+    // first. Either way the arithmetic below reads the same float
+    // values in the same order as the full-Gram solver, keeping the
+    // iterate sequence bit-identical for any row source and cache size.
+    const float* gi = rows.Row(i);
+    if (!rows.CanServeTwoRows()) {
+      std::copy_n(gi, n, row_i.begin());
+      gi = row_i.data();
+    }
+    const float* gj = rows.Row(j);
+
     const double ai_new = ai_old + yi * yj * (aj_old - aj_new);
     alpha[i] = ai_new;
     alpha[j] = aj_new;
@@ -108,11 +159,9 @@ struct Solver {
     const double delta_b = new_bias - bias;
     bias = new_bias;
 
-    // Refresh the error cache: O(n) with the cached Gram rows.
+    // Refresh the error cache: O(n) with the two fetched rows.
     const double di = yi * (ai_new - ai_old);
     const double dj = yj * (aj_new - aj_old);
-    const float* gi = Row(i);
-    const float* gj = Row(j);
     for (size_t t = 0; t < n; ++t) {
       error[t] += di * gi[t] + dj * gj[t] + delta_b;
     }
@@ -122,13 +171,13 @@ struct Solver {
 
 }  // namespace
 
-Result<SmoSolution> SolveSmo(const std::vector<float>& gram,
+Result<SmoSolution> SolveSmo(KernelRowSource& rows,
                              const std::vector<int8_t>& y,
                              const SmoConfig& config) {
   const size_t n = y.size();
   if (n == 0) return Status::InvalidArgument("empty problem");
-  if (gram.size() != n * n) {
-    return Status::InvalidArgument("gram size != n*n");
+  if (rows.size() != n) {
+    return Status::InvalidArgument("kernel row source size != n");
   }
   bool has_pos = false, has_neg = false;
   for (int8_t v : y) {
@@ -141,13 +190,18 @@ Result<SmoSolution> SolveSmo(const std::vector<float>& gram,
   sol.alpha.assign(n, 0.0);
   if (!has_pos || !has_neg) {
     // Single-class training data: the zero solution with a bias at the
-    // majority label is the natural degenerate answer.
+    // majority label is the natural degenerate answer. Pin every field:
+    // no pairwise updates ran and no kernel row was ever fetched.
     sol.bias = has_pos ? 1.0 : -1.0;
+    sol.iterations = 0;
     sol.converged = true;
+    sol.num_support_vectors = 0;
+    sol.cache_hits = 0;
+    sol.cache_misses = 0;
     return sol;
   }
 
-  Solver solver(gram, y, config);
+  Solver solver(rows, y, config);
   size_t it = 0;
   for (; it < config.max_iterations; ++it) {
     size_t i = 0, j = 0;
@@ -175,8 +229,23 @@ Result<SmoSolution> SolveSmo(const std::vector<float>& gram,
   sol.alpha = std::move(solver.alpha);
   sol.bias = solver.bias;
   sol.iterations = it;
+  sol.num_support_vectors = 0;
   for (double a : sol.alpha) sol.num_support_vectors += a > 1e-10;
+  sol.cache_hits = rows.hits();
+  sol.cache_misses = rows.misses();
   return sol;
+}
+
+Result<SmoSolution> SolveSmo(const std::vector<float>& gram,
+                             const std::vector<int8_t>& y,
+                             const SmoConfig& config) {
+  const size_t n = y.size();
+  if (n == 0) return Status::InvalidArgument("empty problem");
+  if (gram.size() != n * n) {
+    return Status::InvalidArgument("gram size != n*n");
+  }
+  FullGramRowSource rows(gram, n);
+  return SolveSmo(rows, y, config);
 }
 
 }  // namespace ml

@@ -3,8 +3,14 @@
 // Solves   min_a  1/2 sum_ij a_i a_j y_i y_j K_ij - sum_i a_i
 //          s.t.   0 <= a_i <= C,  sum_i a_i y_i = 0
 // using Platt-style pairwise updates with a full error cache and
-// maximal-violating-pair working-set selection. The Gram matrix is
-// precomputed (training sizes in this study stay in the low thousands).
+// maximal-violating-pair working-set selection. Kernel rows are supplied
+// by a KernelRowSource: either the lazy LRU KernelCache (the production
+// path, see kernel_cache.h) or a precomputed full Gram matrix wrapped in
+// FullGramRowSource. A source whose row pointers cannot survive one
+// subsequent fetch (CanServeTwoRows() == false, e.g. a 1-row cache) has
+// row i staged through a solver-side scratch copy; either way the
+// arithmetic consumes identical float values in identical order, so the
+// solution is bit-identical for any row source and any cache size.
 
 #ifndef HAMLET_ML_SVM_SMO_H_
 #define HAMLET_ML_SVM_SMO_H_
@@ -22,19 +28,102 @@ struct SmoConfig {
   double C = 1.0;
   double tolerance = 1e-3;      ///< KKT violation tolerance
   size_t max_iterations = 20000;  ///< pairwise-update budget
+  /// Kernel-row cache budget in bytes for callers that build a
+  /// KernelCache (KernelSvm::Fit). 0 = resolve via HAMLET_SMO_CACHE_MB /
+  /// the 64 MiB default (KernelCacheBytesFromEnv). The solver itself is
+  /// agnostic: it uses whatever KernelRowSource it is handed.
+  size_t cache_bytes = 0;
 };
 
 /// Solver output: dual coefficients and intercept.
+///
+/// Field contract: every OK return from SolveSmo sets every field
+/// deterministically — including the degenerate single-class early
+/// return (zero alpha, bias at the majority label, iterations = 0,
+/// converged = true, num_support_vectors = 0, zero cache counters).
 struct SmoSolution {
   std::vector<double> alpha;
   double bias = 0.0;
   size_t iterations = 0;
   bool converged = false;
   size_t num_support_vectors = 0;
+  /// Row-source counters (KernelCache hits/misses; a FullGramRowSource
+  /// counts every access as a hit). hits + misses = total row fetches.
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
 };
 
-/// Runs SMO. `gram` is the n x n kernel matrix (row-major float),
-/// `y` holds labels in {-1, +1}.
+/// Supplier of kernel matrix rows to the solver. Row(i) returns n floats
+/// K(x_i, x_t); the pointer is only guaranteed valid until the next
+/// Row() call (a bounded cache may evict the backing storage).
+class KernelRowSource {
+ public:
+  virtual ~KernelRowSource() = default;
+  virtual const float* Row(size_t i) = 0;
+  /// Single entry K(x_i, x_j), bit-identical to Row(i)[j], without
+  /// fetching (or evicting) whole rows and without touching the
+  /// hit/miss counters. The solver probes kii/kjj/kij through this
+  /// before committing to the two full-row fetches an update needs, so
+  /// no-progress probes (box-clipped pairs, the stuck-pair fallback
+  /// scan) stay O(d) instead of recomputing rows under a tight cache.
+  virtual float At(size_t i, size_t j) const = 0;
+  /// Problem size n (rows are n floats).
+  virtual size_t size() const = 0;
+  /// True when a returned row pointer additionally survives ONE
+  /// subsequent Row() call for a different index (the source can hold
+  /// two rows at once). The solver then reads the pair (i, j) directly
+  /// instead of staging row i through a scratch copy; the float values
+  /// are identical either way, so solutions stay bit-identical.
+  virtual bool CanServeTwoRows() const { return true; }
+  virtual uint64_t hits() const { return 0; }
+  virtual uint64_t misses() const { return 0; }
+};
+
+/// Thin adapter presenting a precomputed n x n row-major Gram matrix as a
+/// row source. Keeps the historical SolveSmo(gram, ...) entry point and
+/// the tests' hand-crafted Gram matrices working; every access counts as
+/// a hit (the matrix is fully materialised).
+class FullGramRowSource : public KernelRowSource {
+ public:
+  /// `gram` must outlive the adapter and hold n*n floats.
+  FullGramRowSource(const std::vector<float>& gram, size_t n)
+      : gram_(gram), n_(n) {}
+
+  const float* Row(size_t i) override {
+    ++hits_;
+    return gram_.data() + i * n_;
+  }
+  float At(size_t i, size_t j) const override { return gram_[i * n_ + j]; }
+  size_t size() const override { return n_; }
+  uint64_t hits() const override { return hits_; }
+
+ private:
+  const std::vector<float>& gram_;
+  size_t n_;
+  uint64_t hits_ = 0;
+};
+
+/// Platt's endpoint-objective rule for a degenerate-curvature pair
+/// (eta = kii + kjj - 2*kij <= 0): evaluates the pair-restricted dual
+/// objective at both clipped box ends and returns the aj value of the
+/// lower one — lo, hi, or aj_old when the two ends tie (no progress).
+/// The gradient-sign heuristic this replaces can pick the worse end when
+/// eta < 0 (near-duplicate rows under float rounding): the local descent
+/// direction of a concave parabola need not point at the lower endpoint.
+/// Exposed for direct unit testing.
+double DegenerateEndpointAj(double lo, double hi, double ai_old,
+                            double aj_old, double yi, double yj,
+                            double error_i, double error_j, double bias,
+                            double kii, double kjj, double kij);
+
+/// Runs SMO against `rows` (n x n kernel values served row by row);
+/// `y` holds labels in {-1, +1} and y.size() must equal rows.size().
+Result<SmoSolution> SolveSmo(KernelRowSource& rows,
+                             const std::vector<int8_t>& y,
+                             const SmoConfig& config);
+
+/// Historical entry point: `gram` is the full n x n kernel matrix
+/// (row-major float). Wraps it in FullGramRowSource and solves.
 Result<SmoSolution> SolveSmo(const std::vector<float>& gram,
                              const std::vector<int8_t>& y,
                              const SmoConfig& config);

@@ -1,6 +1,9 @@
 #include "hamlet/ml/svm/svm.h"
 
 #include <cassert>
+#include <utility>
+
+#include "hamlet/ml/svm/kernel_cache.h"
 
 namespace hamlet {
 namespace ml {
@@ -16,9 +19,9 @@ Status KernelSvm::Fit(const DataView& train) {
     return Status::InvalidArgument("empty training view");
   }
   // Materialise once (prefix subsample when capped; the view's row order
-  // is already a shuffle of the original data); the Gram computation and
+  // is already a shuffle of the original data); the kernel-row cache and
   // support-vector extraction below run on the dense buffer.
-  const CodeMatrix m(train, config_.max_train_rows);
+  CodeMatrix m(train, config_.max_train_rows);
   d_ = m.num_features();
   const size_t n = m.num_rows();
 
@@ -32,6 +35,8 @@ Status KernelSvm::Fit(const DataView& train) {
     converged_ = true;
     sv_rows_.clear();
     sv_coeff_.clear();
+    last_cache_hits_ = 0;
+    last_cache_misses_ = 0;
     return Status::OK();
   }
   is_constant_ = false;
@@ -39,19 +44,26 @@ Status KernelSvm::Fit(const DataView& train) {
   std::vector<int8_t> y(n);
   for (size_t i = 0; i < n; ++i) y[i] = m.label(i) == 1 ? 1 : -1;
 
-  const std::vector<float> gram = ComputeGram(config_.kernel, m.codes(), n, d_);
+  // Lazy kernel rows instead of the old upfront O(n^2) Gram: SMO only
+  // touches the rows its working sets select, so peak memory is bounded
+  // by the cache budget and early-converging grid cells skip most of the
+  // matrix. The cache owns the code matrix from here on.
   SmoConfig smo_cfg;
   smo_cfg.C = config_.C;
   smo_cfg.tolerance = config_.tolerance;
   smo_cfg.max_iterations = config_.max_iterations;
-  Result<SmoSolution> sol = SolveSmo(gram, y, smo_cfg);
+  smo_cfg.cache_bytes = config_.smo_cache_bytes;
+  KernelCache cache(std::move(m), config_.kernel, smo_cfg.cache_bytes);
+  Result<SmoSolution> sol = SolveSmo(cache, y, smo_cfg);
   if (!sol.ok()) return sol.status();
 
   converged_ = sol.value().converged;
   bias_ = sol.value().bias;
+  last_cache_hits_ = sol.value().cache_hits;
+  last_cache_misses_ = sol.value().cache_misses;
   sv_rows_.clear();
   sv_coeff_.clear();
-  const std::vector<uint32_t>& rows = m.codes();
+  const std::vector<uint32_t>& rows = cache.matrix().codes();
   for (size_t i = 0; i < n; ++i) {
     const double a = sol.value().alpha[i];
     if (a > 1e-10) {

@@ -27,10 +27,15 @@ struct SvmConfig {
   size_t max_iterations = 20000;
   /// Optional cap on training rows (0 = use all). When set, a
   /// deterministic stratified-ish prefix subsample keeps the quadratic
-  /// Gram affordable on the larger simulated datasets; the paper's
+  /// SMO solve affordable on the larger simulated datasets; the paper's
   /// qualitative comparisons are unaffected because every variant
   /// (JoinAll/NoJoin/NoFK) sees the same subsample.
   size_t max_train_rows = 0;
+  /// Kernel-row cache budget in bytes for the SMO solve (see
+  /// SmoConfig::cache_bytes). 0 = HAMLET_SMO_CACHE_MB or the 64 MiB
+  /// default. The solve is bit-identical at any budget; only speed and
+  /// memory change. Tests pin tiny budgets through this knob.
+  size_t smo_cache_bytes = 0;
 };
 
 /// C-SVC with categorical-native kernels.
@@ -55,6 +60,11 @@ class KernelSvm : public Classifier {
   size_t num_support_vectors() const { return sv_rows_.size() / (d_ ? d_ : 1); }
   bool converged() const { return converged_; }
 
+  /// Kernel-row cache counters of the most recent Fit (0 before any fit
+  /// and for the degenerate constant-classifier path).
+  uint64_t last_cache_hits() const { return last_cache_hits_; }
+  uint64_t last_cache_misses() const { return last_cache_misses_; }
+
  private:
   SvmConfig config_;
   size_t d_ = 0;
@@ -64,6 +74,8 @@ class KernelSvm : public Classifier {
   uint8_t constant_prediction_ = 0;  // used when training was single-class
   bool is_constant_ = false;
   bool converged_ = false;
+  uint64_t last_cache_hits_ = 0;
+  uint64_t last_cache_misses_ = 0;
 };
 
 }  // namespace ml

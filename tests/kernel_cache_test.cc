@@ -1,0 +1,258 @@
+// Tests for ml::KernelCache and the cached-row SMO parity contract: the
+// lazy LRU row cache must serve rows bit-identical to ComputeGram, evict
+// in LRU order under its byte budget, and leave the SMO solution (alpha,
+// bias, iterations, predictions) bit-identical to the full-Gram adapter
+// at any cache size and thread count.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "hamlet/data/code_matrix.h"
+#include "hamlet/ml/metrics.h"
+#include "hamlet/ml/svm/kernel.h"
+#include "hamlet/ml/svm/kernel_cache.h"
+#include "hamlet/ml/svm/smo.h"
+#include "hamlet/ml/svm/svm.h"
+#include "parity_util.h"
+
+namespace hamlet {
+namespace ml {
+namespace {
+
+constexpr size_t kUnbounded = std::numeric_limits<size_t>::max() / 2;
+
+/// Cache budget that holds exactly `rows` rows of an n-point problem.
+size_t BytesForRows(size_t rows, size_t n) { return rows * n * sizeof(float); }
+
+/// A small two-class problem with enough structure to need real SMO work.
+struct SmoProblem {
+  Dataset data;
+  DataView train;
+  DataView test;
+  std::vector<int8_t> y;  // train labels in -1/+1
+
+  explicit SmoProblem(uint64_t seed)
+      : data(test::MakeParityDataset(72, {4, 3, 5, 2, 3}, seed)) {
+    test::ParityViews views = test::MakeParityViews(data, seed + 1);
+    train = views.train;
+    test = views.test;
+    const CodeMatrix m(train);
+    y.resize(m.num_rows());
+    for (size_t i = 0; i < m.num_rows(); ++i) {
+      y[i] = m.label(i) == 1 ? 1 : -1;
+    }
+  }
+};
+
+const std::vector<KernelConfig>& AllKernels() {
+  static const std::vector<KernelConfig> kernels = {
+      {KernelType::kLinear, 0.0, 2},
+      {KernelType::kPoly, 0.4, 2},
+      {KernelType::kRbf, 0.3, 2},
+  };
+  return kernels;
+}
+
+// ------------------------------------------------------------ KernelCache --
+
+TEST(KernelCacheTest, RowsBitIdenticalToComputeGram) {
+  const SmoProblem p(11);
+  for (const KernelConfig& kc : AllKernels()) {
+    const CodeMatrix m(p.train);
+    const size_t n = m.num_rows();
+    const std::vector<float> gram =
+        ComputeGram(kc, m.codes(), n, m.num_features());
+    // Capacity 1 forces a recompute on every access; recomputed rows must
+    // still match the full Gram exactly.
+    KernelCache cache(CodeMatrix(p.train), kc, BytesForRows(1, n));
+    ASSERT_EQ(cache.size(), n);
+    EXPECT_EQ(cache.capacity_rows(), 1u);
+    for (size_t i = 0; i < n; ++i) {
+      const float* row = cache.Row(i);
+      for (size_t t = 0; t < n; ++t) {
+        ASSERT_EQ(row[t], gram[i * n + t]) << "kernel " << KernelTypeName(kc.type)
+                                           << " row " << i << " col " << t;
+      }
+    }
+    EXPECT_EQ(cache.hits(), 0u);
+    EXPECT_EQ(cache.misses(), n);
+  }
+}
+
+TEST(KernelCacheTest, EvictsLeastRecentlyUsedRow) {
+  const SmoProblem p(12);
+  const CodeMatrix probe(p.train);
+  const size_t n = probe.num_rows();
+  KernelCache cache(CodeMatrix(p.train), AllKernels()[2],
+                    BytesForRows(2, n));
+  ASSERT_EQ(cache.capacity_rows(), 2u);
+
+  cache.Row(0);
+  cache.Row(1);
+  EXPECT_TRUE(cache.Cached(0));
+  EXPECT_TRUE(cache.Cached(1));
+  EXPECT_EQ(cache.resident_rows(), 2u);
+
+  cache.Row(2);  // evicts row 0 (least recently used)
+  EXPECT_FALSE(cache.Cached(0));
+  EXPECT_TRUE(cache.Cached(1));
+  EXPECT_TRUE(cache.Cached(2));
+
+  cache.Row(1);  // refresh row 1 so row 2 becomes the LRU victim
+  cache.Row(3);
+  EXPECT_TRUE(cache.Cached(1));
+  EXPECT_FALSE(cache.Cached(2));
+  EXPECT_TRUE(cache.Cached(3));
+
+  EXPECT_EQ(cache.hits(), 1u);    // the Row(1) refresh
+  EXPECT_EQ(cache.misses(), 4u);  // rows 0, 1, 2, 3
+  EXPECT_EQ(cache.resident_rows(), 2u);
+}
+
+TEST(KernelCacheTest, UnboundedBudgetCachesEveryRowOnce) {
+  const SmoProblem p(13);
+  const CodeMatrix probe(p.train);
+  const size_t n = probe.num_rows();
+  KernelCache cache(CodeMatrix(p.train), AllKernels()[0], kUnbounded);
+  EXPECT_EQ(cache.capacity_rows(), n);  // clamped to the problem size
+  for (size_t pass = 0; pass < 2; ++pass) {
+    for (size_t i = 0; i < n; ++i) cache.Row(i);
+  }
+  EXPECT_EQ(cache.misses(), n);
+  EXPECT_EQ(cache.hits(), n);
+  EXPECT_EQ(cache.resident_rows(), n);
+}
+
+TEST(KernelCacheTest, TinyBudgetStillHoldsOneRow) {
+  const SmoProblem p(14);
+  KernelCache cache(CodeMatrix(p.train), AllKernels()[0], 1);
+  EXPECT_EQ(cache.capacity_rows(), 1u);
+  EXPECT_NE(cache.Row(0), nullptr);
+}
+
+TEST(KernelCacheTest, GlobalTotalsAccumulateOnDestruction) {
+  const SmoProblem p(15);
+  const KernelCacheTotals before = GlobalKernelCacheTotals();
+  {
+    KernelCache cache(CodeMatrix(p.train), AllKernels()[2],
+                      BytesForRows(2, CodeMatrix(p.train).num_rows()));
+    cache.Row(0);
+    cache.Row(0);
+    cache.Row(1);
+  }
+  const KernelCacheTotals after = GlobalKernelCacheTotals();
+  EXPECT_EQ(after.hits - before.hits, 1u);
+  EXPECT_EQ(after.misses - before.misses, 2u);
+}
+
+// --------------------------------------------------- HAMLET_SMO_CACHE_MB --
+
+TEST(KernelCacheEnvTest, UnsetUsesDefault) {
+  test::ScopedEnvVar env("HAMLET_SMO_CACHE_MB", nullptr);
+  EXPECT_EQ(KernelCacheBytesFromEnv(), kDefaultKernelCacheBytes);
+}
+
+TEST(KernelCacheEnvTest, PositiveMibParses) {
+  test::ScopedEnvVar env("HAMLET_SMO_CACHE_MB", "8");
+  EXPECT_EQ(KernelCacheBytesFromEnv(), size_t{8} << 20);
+}
+
+TEST(KernelCacheEnvTest, GarbageAndZeroFallBackToDefault) {
+  for (const char* bad : {"abc", "0", "-3", "12MB", ""}) {
+    test::ScopedEnvVar env("HAMLET_SMO_CACHE_MB", bad);
+    EXPECT_EQ(KernelCacheBytesFromEnv(), kDefaultKernelCacheBytes)
+        << "value \"" << bad << "\"";
+  }
+}
+
+// ------------------------------------------------------------- SMO parity --
+
+/// The cached solver must be bit-identical to the full-Gram adapter:
+/// same alpha bits, same bias, same iteration count, same support-vector
+/// set, at every cache size, because the solver stages rows through a
+/// scratch copy and the cache serves ComputeGram-identical floats.
+TEST(SmoCacheParityTest, SolutionBitIdenticalAtAllCacheSizes) {
+  const SmoProblem p(21);
+  SmoConfig cfg;
+  cfg.C = 5.0;
+  for (const KernelConfig& kc : AllKernels()) {
+    const CodeMatrix m(p.train);
+    const size_t n = m.num_rows();
+    const std::vector<float> gram =
+        ComputeGram(kc, m.codes(), n, m.num_features());
+    const Result<SmoSolution> base = SolveSmo(gram, p.y, cfg);
+    ASSERT_TRUE(base.ok());
+    ASSERT_GT(base.value().num_support_vectors, 0u);
+
+    for (size_t cache_bytes :
+         {BytesForRows(1, n), BytesForRows(2, n), kUnbounded}) {
+      KernelCache cache(CodeMatrix(p.train), kc, cache_bytes);
+      const Result<SmoSolution> cached = SolveSmo(cache, p.y, cfg);
+      ASSERT_TRUE(cached.ok());
+      const SmoSolution& a = base.value();
+      const SmoSolution& b = cached.value();
+      EXPECT_EQ(a.alpha, b.alpha) << KernelTypeName(kc.type);  // bitwise
+      EXPECT_EQ(a.bias, b.bias) << KernelTypeName(kc.type);
+      EXPECT_EQ(a.iterations, b.iterations);
+      EXPECT_EQ(a.converged, b.converged);
+      EXPECT_EQ(a.num_support_vectors, b.num_support_vectors);
+      // Identical iterate sequences fetch identical row sequences: the
+      // adapter counts every fetch as a hit, the cache splits the same
+      // total into hits + misses.
+      EXPECT_EQ(a.cache_hits, b.cache_hits + b.cache_misses);
+      EXPECT_GT(b.cache_misses, 0u);
+    }
+  }
+}
+
+/// End-to-end through KernelSvm: predictions, support-vector count and
+/// accuracy must agree bitwise between a 1-row cache, a 2-row cache and
+/// the default budget, at HAMLET_THREADS=1 and 4 (PredictAll fans rows
+/// out over the pool), for all three kernels.
+TEST(SmoCacheParityTest, KernelSvmBitIdenticalAcrossCacheSizesAndThreads) {
+  const SmoProblem p(22);
+  const CodeMatrix m(p.train);
+  const size_t n = m.num_rows();
+  for (const KernelConfig& kc : AllKernels()) {
+    std::vector<uint8_t> reference_preds;
+    double reference_acc = 0.0;
+    for (const char* threads : {"1", "4"}) {
+      test::ScopedThreads scoped(threads);
+      std::vector<std::vector<uint8_t>> all_preds;
+      for (size_t cache_bytes :
+           {BytesForRows(1, n), BytesForRows(2, n), size_t{0}}) {
+        SvmConfig cfg;
+        cfg.kernel = kc;
+        cfg.C = 5.0;
+        cfg.smo_cache_bytes = cache_bytes;
+        KernelSvm svm(cfg);
+        ASSERT_TRUE(svm.Fit(p.train).ok());
+        EXPECT_GT(svm.num_support_vectors(), 0u);
+        all_preds.push_back(svm.PredictAll(p.test));
+        if (cache_bytes == BytesForRows(1, n)) {
+          // The tightest cache recomputes constantly; the looser ones
+          // must see strictly fewer misses for the same fetch sequence.
+          EXPECT_GT(svm.last_cache_misses(), 0u);
+        }
+        const double acc = Accuracy(svm, p.test);
+        if (reference_preds.empty()) {
+          reference_preds = all_preds.back();
+          reference_acc = acc;
+        } else {
+          EXPECT_EQ(all_preds.back(), reference_preds)
+              << KernelTypeName(kc.type) << " threads=" << threads
+              << " cache_bytes=" << cache_bytes;
+          EXPECT_DOUBLE_EQ(acc, reference_acc);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ml
+}  // namespace hamlet

@@ -35,35 +35,49 @@
 namespace hamlet {
 namespace test {
 
+/// Sets (or, with nullptr, unsets) an environment variable and restores
+/// the prior state on destruction. Base guard for every HAMLET_* knob
+/// the tests pin (thread counts, SMO cache budget, ...).
+class ScopedEnvVar {
+ public:
+  ScopedEnvVar(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    had_old_ = old != nullptr;
+    if (had_old_) old_ = old;
+    if (value == nullptr) {
+      unsetenv(name);
+    } else {
+      setenv(name, value, 1);
+    }
+  }
+  ~ScopedEnvVar() {
+    if (had_old_) {
+      setenv(name_.c_str(), old_.c_str(), 1);
+    } else {
+      unsetenv(name_.c_str());
+    }
+  }
+
+ private:
+  std::string name_;
+  bool had_old_ = false;
+  std::string old_;
+};
+
 /// Sets HAMLET_THREADS and rebuilds the default pool; restores the prior
 /// value (and rebuilds again) on destruction. Shared by this harness and
 /// parallel_test.cc: the PR 2 determinism tests and the parity tests both
 /// pin results at explicit thread counts.
 class ScopedThreads {
  public:
-  explicit ScopedThreads(const char* value) {
-    const char* old = std::getenv("HAMLET_THREADS");
-    had_old_ = old != nullptr;
-    if (had_old_) old_ = old;
-    if (value == nullptr) {
-      unsetenv("HAMLET_THREADS");
-    } else {
-      setenv("HAMLET_THREADS", value, 1);
-    }
+  explicit ScopedThreads(const char* value)
+      : env_("HAMLET_THREADS", value) {
     parallel::ResetDefaultPoolForTesting();
   }
-  ~ScopedThreads() {
-    if (had_old_) {
-      setenv("HAMLET_THREADS", old_.c_str(), 1);
-    } else {
-      unsetenv("HAMLET_THREADS");
-    }
-    parallel::ResetDefaultPoolForTesting();
-  }
+  ~ScopedThreads() { parallel::ResetDefaultPoolForTesting(); }
 
  private:
-  bool had_old_ = false;
-  std::string old_;
+  ScopedEnvVar env_;
 };
 
 /// Deterministic synthetic dataset: one column per entry of `domains`

@@ -89,6 +89,41 @@ TEST(SmoTest, SingleClassDegenerates) {
   EXPECT_EQ(sol.value().num_support_vectors, 0u);
 }
 
+TEST(SmoTest, SingleClassSolutionFieldsAreFullyPinned) {
+  // The single-class early return must set every SmoSolution field
+  // deterministically, not just the ones it happens to touch.
+  std::vector<float> gram = {1.0f, 0.0f, 0.0f, 1.0f};
+  for (int8_t label : {int8_t{1}, int8_t{-1}}) {
+    Result<SmoSolution> sol = SolveSmo(gram, {label, label}, {});
+    ASSERT_TRUE(sol.ok());
+    const SmoSolution& s = sol.value();
+    EXPECT_EQ(s.alpha, std::vector<double>(2, 0.0));
+    EXPECT_EQ(s.bias, label > 0 ? 1.0 : -1.0);
+    EXPECT_EQ(s.iterations, 0u);
+    EXPECT_TRUE(s.converged);
+    EXPECT_EQ(s.num_support_vectors, 0u);
+    EXPECT_EQ(s.cache_hits, 0u);
+    EXPECT_EQ(s.cache_misses, 0u);
+  }
+}
+
+TEST(SmoTest, ExhaustedIterationBudgetStillPinsAllFields) {
+  // A deliberately starved run (1 pairwise update) exercises the
+  // non-converged exit: every field must still be set deterministically.
+  std::vector<float> gram = {1.0f, 0.0f, 0.0f, 1.0f};
+  SmoConfig cfg;
+  cfg.C = 10.0;
+  cfg.max_iterations = 1;
+  Result<SmoSolution> sol = SolveSmo(gram, {1, -1}, cfg);
+  ASSERT_TRUE(sol.ok());
+  const SmoSolution& s = sol.value();
+  EXPECT_FALSE(s.converged);
+  EXPECT_EQ(s.iterations, 1u);
+  EXPECT_EQ(s.alpha.size(), 2u);
+  EXPECT_GT(s.num_support_vectors, 0u);
+  EXPECT_GT(s.cache_hits + s.cache_misses, 0u);  // rows were fetched
+}
+
 TEST(SmoTest, SolvesTwoPointProblem) {
   // Two points, k(x,x)=1, k(x,z)=0, labels +1/-1: symmetric solution with
   // alpha_1 = alpha_2 (equality constraint) and margin at both points.
@@ -118,6 +153,115 @@ TEST(SmoTest, AlphasRespectBoxAndEqualityConstraints) {
   Result<SmoSolution> sol =
       SolveSmo(ComputeGram(kc, rows, n, d), y, cfg);
   ASSERT_TRUE(sol.ok());
+  double eq = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_GE(sol.value().alpha[i], -1e-9);
+    EXPECT_LE(sol.value().alpha[i], cfg.C + 1e-9);
+    eq += sol.value().alpha[i] * y[i];
+  }
+  EXPECT_NEAR(eq, 0.0, 1e-6);
+}
+
+// ------------------------------------------- degenerate-curvature update --
+
+/// Independent evaluation of the pair-restricted dual objective
+///   psi(a1, a2) = 1/2 k11 a1^2 + 1/2 k22 a2^2 + s k12 a1 a2
+///                 + y1 v1 a1 + y2 v2 a2 - a1 - a2,
+/// where v1/v2 are the fixed contributions of all other points, recovered
+/// from the error-cache values the same way the solver sees them:
+///   v1 = (E1 + y1) - b - a1_old y1 k11 - a2_old y2 k12.
+/// This re-derives the objective from the dual definition, independently
+/// of the f1/f2 algebra inside DegenerateEndpointAj.
+double PairObjective(double a1, double a2, double y1, double y2, double k11,
+                     double k22, double k12, double v1, double v2) {
+  return 0.5 * k11 * a1 * a1 + 0.5 * k22 * a2 * a2 + y1 * y2 * k12 * a1 * a2 +
+         y1 * v1 * a1 + y2 * v2 * a2 - a1 - a2;
+}
+
+TEST(SmoDegenerateTest, PicksLowerObjectiveEndNotGradientSign) {
+  // Near-duplicate same-label pair under float rounding: kii = kjj = 1,
+  // kij = 1 + 1e-7, so eta = -2e-7 (concave along the constraint line).
+  // Exact duplicates with equal labels have identical errors, so the
+  // local gradient term y2*(E1 - E2) is 0 and the old heuristic fell to
+  // the lo end; the concave term makes the end FARTHER from aj_old
+  // strictly lower, which here is hi. Platt's endpoint evaluation must
+  // pick it.
+  const double yi = 1.0, yj = 1.0, s = 1.0;
+  const double kii = 1.0, kjj = 1.0, kij = 1.0 + 1e-7;
+  const double ai_old = 0.5, aj_old = 0.3;
+  const double lo = 0.0, hi = 0.8;  // C = 1, same-label box
+  const double e = -0.4, bias = 0.25;  // Ei == Ej for duplicates
+
+  const double chosen = DegenerateEndpointAj(lo, hi, ai_old, aj_old, yi, yj,
+                                             e, e, bias, kii, kjj, kij);
+  EXPECT_EQ(chosen, hi);
+
+  // Independent check that hi really is the lower-objective end (and
+  // that the old gradient-sign choice, lo, was the worse end).
+  const double v1 = (e + yi) - bias - ai_old * yi * kii - aj_old * yj * kij;
+  const double v2 = (e + yj) - bias - ai_old * yi * kij - aj_old * yj * kjj;
+  const double a1_at_lo = ai_old + s * (aj_old - lo);
+  const double a1_at_hi = ai_old + s * (aj_old - hi);
+  const double obj_lo =
+      PairObjective(a1_at_lo, lo, yi, yj, kii, kjj, kij, v1, v2);
+  const double obj_hi =
+      PairObjective(a1_at_hi, hi, yi, yj, kii, kjj, kij, v1, v2);
+  EXPECT_LT(obj_hi, obj_lo);
+}
+
+TEST(SmoDegenerateTest, TiedEndsStayPut) {
+  // Exact duplicates (eta = 0) with equal errors: the objective is
+  // constant along the segment, so the update must report no progress
+  // (return aj_old) instead of shuffling mass to an arbitrary end.
+  const double aj_old = 0.3;
+  const double chosen = DegenerateEndpointAj(
+      /*lo=*/0.0, /*hi=*/0.8, /*ai_old=*/0.5, aj_old, /*yi=*/1.0,
+      /*yj=*/1.0, /*error_i=*/-0.4, /*error_j=*/-0.4, /*bias=*/0.25,
+      /*kii=*/1.0, /*kjj=*/1.0, /*kij=*/1.0);
+  EXPECT_EQ(chosen, aj_old);
+}
+
+TEST(SmoDegenerateTest, LinearCaseAgreesWithGradientSign) {
+  // eta exactly 0 with a nonzero gradient: the objective is linear in
+  // aj, so the endpoint evaluation must agree with the gradient sign
+  // (the regime where the old heuristic was already correct).
+  const double lo = 0.0, hi = 0.8;
+  // yj*(Ei - Ej) > 0 -> hi under the old rule.
+  EXPECT_EQ(DegenerateEndpointAj(lo, hi, 0.5, 0.3, 1.0, 1.0, /*error_i=*/0.4,
+                                 /*error_j=*/-0.4, 0.0, 1.0, 1.0, 1.0),
+            hi);
+  // yj*(Ei - Ej) < 0 -> lo.
+  EXPECT_EQ(DegenerateEndpointAj(lo, hi, 0.5, 0.3, 1.0, 1.0, /*error_i=*/-0.4,
+                                 /*error_j=*/0.4, 0.0, 1.0, 1.0, 1.0),
+            lo);
+}
+
+TEST(SmoDegenerateTest, DuplicateRowProblemStaysStableAndFeasible) {
+  // Integration guard: a training set dominated by exactly duplicated
+  // rows (every eta for a duplicate pair is exactly 0) must converge
+  // without burning the iteration budget shuffling mass between
+  // equivalent coordinates, and the solution must stay feasible.
+  const size_t d = 3, reps = 8;
+  const std::vector<std::vector<uint32_t>> patterns = {
+      {0, 1, 2}, {1, 0, 2}, {2, 2, 0}, {0, 0, 1}};
+  std::vector<uint32_t> rows;
+  std::vector<int8_t> y;
+  for (size_t pt = 0; pt < patterns.size(); ++pt) {
+    for (size_t r = 0; r < reps; ++r) {
+      rows.insert(rows.end(), patterns[pt].begin(), patterns[pt].end());
+      // Mixed labels inside two of the duplicate groups force overlap.
+      const bool flip = (pt >= 2) && (r % 2 == 1);
+      y.push_back(((pt % 2 == 0) != flip) ? 1 : -1);
+    }
+  }
+  const size_t n = y.size();
+  KernelConfig kc{KernelType::kRbf, 0.5, 2};
+  SmoConfig cfg;
+  cfg.C = 4.0;
+  Result<SmoSolution> sol = SolveSmo(ComputeGram(kc, rows, n, d), y, cfg);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_TRUE(sol.value().converged);
+  EXPECT_LT(sol.value().iterations, cfg.max_iterations);
   double eq = 0.0;
   for (size_t i = 0; i < n; ++i) {
     EXPECT_GE(sol.value().alpha[i], -1e-9);
