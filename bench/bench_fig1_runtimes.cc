@@ -93,6 +93,7 @@ void RegisterAll() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const hamlet::bench::SvmStatsScope svm_stats;
   bench::PrintHeader(
       "Figure 1: end-to-end runtimes, JoinAll vs NoJoin (expect NoJoin "
       "faster)");
@@ -100,6 +101,6 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  bench::PrintSvmCacheStats();
+  bench::PrintSvmCacheStats(svm_stats);
   return bench::ExitCode();
 }

@@ -44,6 +44,7 @@ void RunModelPanel(const char* title, bench::SimModel model,
 }  // namespace
 
 int main() {
+  const hamlet::bench::SvmStatsScope svm_stats;
   bench::PrintHeader("Figure 3: OneXr vary nR, 1-NN (A) and RBF-SVM (B)");
   const bool full = bench::IsFullMode();
   const std::vector<double> nrs =
@@ -57,6 +58,6 @@ int main() {
       "Expected shape (paper Fig. 3): 1-NN NoJoin degrades early (already\n"
       "at nR ~ 10); RBF-SVM NoJoin tracks JoinAll until the tuple ratio\n"
       "falls below ~6 (nR ~ 80+ at nS = 1000 -> 500 train rows).\n");
-  bench::PrintSvmCacheStats();
+  bench::PrintSvmCacheStats(svm_stats);
   return bench::ExitCode();
 }

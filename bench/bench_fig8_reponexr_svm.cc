@@ -42,6 +42,7 @@ void RunPanel(const char* title, size_t nr,
 }  // namespace
 
 int main() {
+  const hamlet::bench::SvmStatsScope svm_stats;
   bench::PrintHeader("Figure 8: RepOneXr simulations, RBF-SVM");
   const bool full = bench::IsFullMode();
   const std::vector<double> drs = full
@@ -54,6 +55,6 @@ int main() {
   std::printf(
       "Expected shape (paper Fig. 8): NoJoin ~ JoinAll in (A); a visible\n"
       "NoJoin deviation opens in (B), the ~5x tuple-ratio regime.\n");
-  bench::PrintSvmCacheStats();
+  bench::PrintSvmCacheStats(svm_stats);
   return bench::ExitCode();
 }

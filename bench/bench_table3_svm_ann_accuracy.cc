@@ -10,6 +10,7 @@
 #include "bench_tables.h"
 
 int main() {
+  const hamlet::bench::SvmStatsScope svm_stats;
   using namespace hamlet;
   using core::FeatureVariant;
   using core::ModelKind;
@@ -39,6 +40,6 @@ int main() {
       "everywhere except Yelp (and LastFM/Books for the RBF-SVM); the\n"
       "Yelp drop is smaller for RBF-SVM/ANN (~0.01) than for NB/LR "
       "(~0.03).\n");
-  bench::PrintSvmCacheStats();
+  bench::PrintSvmCacheStats(svm_stats);
   return bench::ExitCode();
 }

@@ -6,6 +6,7 @@
 #include "bench_tables.h"
 
 int main() {
+  const hamlet::bench::SvmStatsScope svm_stats;
   using namespace hamlet;
   using core::FeatureVariant;
   using core::ModelKind;
@@ -33,6 +34,6 @@ int main() {
   std::printf(
       "\nExpected shape (paper Table 6): JoinAll ~ NoJoin train accuracy\n"
       "within each model family; kernel SVMs overfit more than linear.\n");
-  bench::PrintSvmCacheStats();
+  bench::PrintSvmCacheStats(svm_stats);
   return bench::ExitCode();
 }

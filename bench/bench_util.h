@@ -128,25 +128,68 @@ inline void PrintRow(const std::vector<std::string>& cells, size_t width) {
   std::printf("\n");
 }
 
-/// Prints the process-wide SMO kernel-row cache counters in a stable,
-/// machine-parseable form. The SVM-heavy benches (fig1, fig3, fig8,
-/// table3, table6) call this after their tables so run_all.py can record
-/// cache effectiveness in BENCH_results.json across commits. Counters
-/// aggregate over every fit in the process (all grid cells, all
-/// Monte-Carlo runs); hit_rate is n/a when no SVM fit ran (e.g. fig1's
-/// smoke roster).
-inline void PrintSvmCacheStats() {
-  const ml::KernelCacheTotals totals = ml::GlobalKernelCacheTotals();
-  const uint64_t accesses = totals.hits + totals.misses;
-  std::printf("[svm-cache] hits=%llu misses=%llu hit_rate=",
-              static_cast<unsigned long long>(totals.hits),
-              static_cast<unsigned long long>(totals.misses));
-  if (accesses == 0) {
-    std::printf("n/a\n");
-  } else {
-    std::printf("%.4f\n", static_cast<double>(totals.hits) /
-                              static_cast<double>(accesses));
+/// Snapshot scope over the process-wide SVM counters (kernel-row cache
+/// totals and SMO solver totals). The globals are monotone and never
+/// reset, so a bench that wants ITS OWN numbers — not whatever earlier
+/// fits in the same process accumulated — constructs one of these at the
+/// start of main and reports the deltas. This is the scoped-snapshot
+/// companion to ml::ResetGlobal{KernelCache,Smo}Totals(), preferred in
+/// benches because it composes with any fits that preceded the scope.
+class SvmStatsScope {
+ public:
+  SvmStatsScope()
+      : cache_start_(ml::GlobalKernelCacheTotals()),
+        smo_start_(ml::GlobalSmoTotals()) {}
+
+  ml::KernelCacheTotals CacheDelta() const {
+    const ml::KernelCacheTotals now = ml::GlobalKernelCacheTotals();
+    ml::KernelCacheTotals d;
+    d.hits = now.hits - cache_start_.hits;
+    d.misses = now.misses - cache_start_.misses;
+    return d;
   }
+
+  ml::SmoTotals SmoDelta() const {
+    const ml::SmoTotals now = ml::GlobalSmoTotals();
+    ml::SmoTotals d;
+    d.fits = now.fits - smo_start_.fits;
+    d.iterations = now.iterations - smo_start_.iterations;
+    d.shrink_events = now.shrink_events - smo_start_.shrink_events;
+    d.unshrink_events = now.unshrink_events - smo_start_.unshrink_events;
+    return d;
+  }
+
+ private:
+  ml::KernelCacheTotals cache_start_;
+  ml::SmoTotals smo_start_;
+};
+
+/// Prints the SMO kernel-row cache and solver counters accumulated since
+/// `scope` was constructed, in a stable, machine-parseable form. The
+/// SVM-heavy benches (fig1, fig3, fig8, table3, table6) call this after
+/// their tables so run_all.py can record cache effectiveness and
+/// iteration counts in BENCH_results.json across commits (schema v4, see
+/// docs/BENCH_SCHEMA.md). Counters cover every fit inside the scope (all
+/// grid cells, all Monte-Carlo runs); hit_rate is n/a when no SVM fit
+/// ran (e.g. fig1's smoke roster).
+inline void PrintSvmCacheStats(const SvmStatsScope& scope) {
+  const ml::KernelCacheTotals cache = scope.CacheDelta();
+  const ml::SmoTotals smo = scope.SmoDelta();
+  const uint64_t accesses = cache.hits + cache.misses;
+  std::printf("[svm-cache] hits=%llu misses=%llu hit_rate=",
+              static_cast<unsigned long long>(cache.hits),
+              static_cast<unsigned long long>(cache.misses));
+  if (accesses == 0) {
+    std::printf("n/a");
+  } else {
+    std::printf("%.4f", static_cast<double>(cache.hits) /
+                            static_cast<double>(accesses));
+  }
+  std::printf(" fits=%llu iters=%llu shrinks=%llu unshrinks=%llu\n",
+              static_cast<unsigned long long>(smo.fits),
+              static_cast<unsigned long long>(smo.iterations),
+              static_cast<unsigned long long>(smo.shrink_events),
+              static_cast<unsigned long long>(smo.unshrink_events));
 }
 
 /// Which model a figure bench trains inside its Monte-Carlo loop.

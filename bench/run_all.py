@@ -35,24 +35,55 @@ import time
 MIN_COMPARABLE_SECONDS = 1e-3
 
 # Stable marker printed by bench::PrintSvmCacheStats (SVM-heavy benches):
-# "[svm-cache] hits=123 misses=45 hit_rate=0.7321" (hit_rate=n/a when no
-# SVM fit ran in the process).
+#   [svm-cache] hits=123 misses=45 hit_rate=0.7321 fits=9 iters=1200 \
+#       shrinks=3 unshrinks=2
+# (hit_rate=n/a when no SVM fit ran inside the bench's stats scope).
+# The full schema is documented in docs/BENCH_SCHEMA.md.
 SVM_CACHE_RE = re.compile(
-    r"^\[svm-cache\] hits=(\d+) misses=(\d+) hit_rate=", re.MULTILINE)
+    r"^\[svm-cache\] hits=(\d+) misses=(\d+) hit_rate=(n/a|[0-9.]+) "
+    r"fits=(\d+) iters=(\d+) shrinks=(\d+) unshrinks=(\d+)$")
+
+
+class SvmCacheParseError(ValueError):
+    """A bench printed an [svm-cache] line this script cannot parse."""
 
 
 def parse_svm_cache(output: str):
-    """Extracts the kernel-row cache counters a bench printed, if any."""
-    matches = SVM_CACHE_RE.findall(output)
-    if not matches:
-        return None
-    hits, misses = (int(v) for v in matches[-1])
+    """Extracts the cache + SMO counters a bench printed, if any.
+
+    Returns (svm_cache, smo) dicts, or (None, None) when the bench
+    printed no [svm-cache] line at all. A line that STARTS with the
+    marker but does not match the schema raises SvmCacheParseError:
+    silently recording nulls would hide a reporting-format regression
+    from every downstream consumer of BENCH_results.json.
+    """
+    parsed = None
+    for line in output.splitlines():
+        if not line.startswith("[svm-cache]"):
+            continue
+        match = SVM_CACHE_RE.fullmatch(line.rstrip())
+        if match is None:
+            raise SvmCacheParseError(
+                f"unparseable [svm-cache] line: {line.rstrip()!r} "
+                f"(expected: {SVM_CACHE_RE.pattern!r}; "
+                "see docs/BENCH_SCHEMA.md)")
+        parsed = match
+    if parsed is None:
+        return None, None
+    hits, misses = int(parsed.group(1)), int(parsed.group(2))
     total = hits + misses
-    return {
+    svm_cache = {
         "hits": hits,
         "misses": misses,
         "hit_rate": round(hits / total, 4) if total else None,
     }
+    smo = {
+        "fits": int(parsed.group(4)),
+        "iterations": int(parsed.group(5)),
+        "shrink_events": int(parsed.group(6)),
+        "unshrink_events": int(parsed.group(7)),
+    }
+    return svm_cache, smo
 
 
 def run_one(path: str, mode: str, timeout_s: int) -> dict:
@@ -84,22 +115,39 @@ def run_one(path: str, mode: str, timeout_s: int) -> dict:
 
     tail = output.splitlines()[-12:]
     figure = name[len("bench_"):] if name.startswith("bench_") else name
+    # Fail fast on a malformed [svm-cache] line from a SUCCESSFUL bench:
+    # a schema drift between bench_util.h and this parser must break the
+    # run loudly, not record nulls that look like "this bench has no SVM
+    # stats". A timed-out or crashed bench can legitimately leave a
+    # truncated line behind; that case is already reported through
+    # ok=false / exit_code, so keep its partial results.
+    try:
+        svm_cache, smo = parse_svm_cache(output)
+    except SvmCacheParseError as exc:
+        if exit_code == 0:
+            sys.exit(f"[run_all] error: bench {name}: {exc}")
+        svm_cache, smo = None, None
     return {
         "name": name,
         "figure": figure,
         "seconds": round(seconds, 3),
         "exit_code": exit_code,
         "ok": exit_code == 0,
-        # Kernel-row cache counters (SVM-heavy benches print them; null
-        # for benches that don't) so CI artifacts track cache
-        # effectiveness across commits.
-        "svm_cache": parse_svm_cache(output),
+        # Kernel-row cache + SMO solver counters (SVM-heavy benches print
+        # them; null for benches that don't) so CI artifacts track cache
+        # effectiveness and iteration counts across commits.
+        "svm_cache": svm_cache,
+        "smo": smo,
         "stdout_tail": tail,
     }
 
 
 def main() -> int:
-    ap = argparse.ArgumentParser(description=__doc__)
+    ap = argparse.ArgumentParser(
+        description=__doc__,
+        epilog="The output schema (currently version 4) is documented in "
+               "docs/BENCH_SCHEMA.md, alongside the HAMLET_BENCH_MODE / "
+               "HAMLET_BENCH_BASELINE knobs.")
     ap.add_argument("--mode", default="smoke",
                     choices=["smoke", "quick", "full"])
     ap.add_argument("--output", required=True,
@@ -155,9 +203,11 @@ def main() -> int:
         results.append(result)
 
     report = {
-        # v3: per-bench svm_cache counters; speedup_vs_baseline may be
-        # null when either wall time is too small to compare.
-        "schema_version": 3,
+        # v4: per-bench `smo` solver counters next to `svm_cache`, and a
+        # malformed [svm-cache] line aborts the run instead of recording
+        # nulls. speedup_vs_baseline may be null when either wall time is
+        # too small to compare. See docs/BENCH_SCHEMA.md.
+        "schema_version": 4,
         "suite": "hamlet-bench",
         "mode": args.mode,
         # Wall times are only comparable at equal parallelism, so pin the

@@ -30,6 +30,11 @@ KernelCacheTotals GlobalKernelCacheTotals() {
   return totals;
 }
 
+void ResetGlobalKernelCacheTotals() {
+  g_total_hits.store(0, std::memory_order_relaxed);
+  g_total_misses.store(0, std::memory_order_relaxed);
+}
+
 size_t KernelCacheBytesFromEnv() {
   const char* value = std::getenv("HAMLET_SMO_CACHE_MB");
   if (value == nullptr || *value == '\0') return kDefaultKernelCacheBytes;
@@ -80,6 +85,9 @@ KernelCache::KernelCache(CodeMatrix matrix, const KernelConfig& kernel,
   prev_.assign(capacity_rows_, -1);
   next_.assign(capacity_rows_, -1);
   slots_.reserve(capacity_rows_ < 64 ? capacity_rows_ : 64);
+  member_mark_.assign(n, 0);
+  slot_era_.assign(capacity_rows_, 0);
+  slot_full_.assign(capacity_rows_, 1);
 }
 
 KernelCache::~KernelCache() {
@@ -93,14 +101,40 @@ bool KernelCache::Cached(size_t i) const {
 }
 
 void KernelCache::ComputeRow(size_t i, float* out) const {
-  const size_t n = matrix_.num_rows();
   const size_t d = matrix_.num_features();
   const uint32_t* ri = matrix_.row(i);
-  // Same double->float narrowing as ComputeGram, so a cached row is
-  // bit-identical to the corresponding full-Gram row.
-  for (size_t t = 0; t < n; ++t) {
+  // Same double->float narrowing as ComputeGram, so a cached row entry is
+  // bit-identical to the corresponding full-Gram entry. Under an active
+  // restriction only the restricted columns are computed; the others stay
+  // whatever the slot held before (callers must not read them).
+  if (restrict_idx_.empty()) {
+    const size_t n = matrix_.num_rows();
+    for (size_t t = 0; t < n; ++t) {
+      out[t] =
+          static_cast<float>(KernelEval(kernel_, ri, matrix_.row(t), d));
+    }
+    return;
+  }
+  for (const int32_t col : restrict_idx_) {
+    const size_t t = static_cast<size_t>(col);
     out[t] = static_cast<float>(KernelEval(kernel_, ri, matrix_.row(t), d));
   }
+}
+
+void KernelCache::RestrictActive(const int32_t* indices, size_t count) {
+  restrict_idx_.assign(indices, indices + count);
+  ++restrict_serial_;
+  for (size_t k = 0; k < count; ++k) {
+    member_mark_[static_cast<size_t>(indices[k])] = restrict_serial_;
+  }
+}
+
+void KernelCache::ClearActiveRestriction() {
+  if (restrict_idx_.empty()) return;
+  restrict_idx_.clear();
+  // Close the era: partial rows computed under the lifted restriction
+  // recompute on their next fetch; full rows stay valid.
+  ++era_;
 }
 
 void KernelCache::Detach(int32_t slot) {
@@ -129,10 +163,13 @@ void KernelCache::MoveToFront(int32_t slot) {
 float KernelCache::At(size_t i, size_t j) const {
   assert(i < matrix_.num_rows() && j < matrix_.num_rows());
   if (i == j) return diag_[i];
+  // While restricted, only restricted indices may be probed (a partial
+  // resident row holds valid entries exactly at the restriction).
+  assert(InRestriction(i) && InRestriction(j));
   const int32_t si = slot_of_row_[i];
-  if (si >= 0) return slots_[static_cast<size_t>(si)][j];
+  if (si >= 0 && SlotUsable(si)) return slots_[static_cast<size_t>(si)][j];
   const int32_t sj = slot_of_row_[j];
-  if (sj >= 0) return slots_[static_cast<size_t>(sj)][i];
+  if (sj >= 0 && SlotUsable(sj)) return slots_[static_cast<size_t>(sj)][i];
   return static_cast<float>(KernelEval(kernel_, matrix_.row(i),
                                        matrix_.row(j),
                                        matrix_.num_features()));
@@ -140,27 +177,39 @@ float KernelCache::At(size_t i, size_t j) const {
 
 const float* KernelCache::Row(size_t i) {
   assert(i < matrix_.num_rows());
+  assert(InRestriction(i));
   int32_t slot = slot_of_row_[i];
-  if (slot >= 0) {
+  if (slot >= 0 && SlotUsable(slot)) {
     ++hits_;
     MoveToFront(slot);
     return slots_[static_cast<size_t>(slot)].data();
   }
   ++misses_;
-  if (used_slots_ < capacity_rows_) {
+  if (slot >= 0) {
+    // Resident but computed under a restriction that has since been
+    // lifted: its dead columns are stale, so recompute in place (the
+    // slot keeps its storage and becomes most recently used).
+    MoveToFront(slot);
+  } else if (used_slots_ < capacity_rows_) {
     slot = static_cast<int32_t>(used_slots_++);
     slots_.emplace_back(matrix_.num_rows());
+    row_of_slot_[slot] = static_cast<int32_t>(i);
+    slot_of_row_[i] = slot;
+    PushFront(slot);
   } else {
     // Evict the least-recently-used row and reuse its storage.
     slot = tail_;
     assert(slot >= 0);
     slot_of_row_[static_cast<size_t>(row_of_slot_[slot])] = -1;
     Detach(slot);
+    row_of_slot_[slot] = static_cast<int32_t>(i);
+    slot_of_row_[i] = slot;
+    PushFront(slot);
   }
   ComputeRow(i, slots_[static_cast<size_t>(slot)].data());
-  row_of_slot_[slot] = static_cast<int32_t>(i);
-  slot_of_row_[i] = slot;
-  PushFront(slot);
+  slot_era_[static_cast<size_t>(slot)] = era_;
+  slot_full_[static_cast<size_t>(slot)] =
+      restrict_idx_.empty() ? uint8_t{1} : uint8_t{0};
   return slots_[static_cast<size_t>(slot)].data();
 }
 

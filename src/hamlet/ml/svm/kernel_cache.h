@@ -48,7 +48,15 @@ struct KernelCacheTotals {
 };
 
 /// Snapshot of the totals accumulated so far (all fits in this process).
+/// The totals are monotone and never reset implicitly, so multi-fit
+/// callers that want per-batch numbers must scope them: subtract two
+/// snapshots (bench::SvmStatsScope does this) or call
+/// ResetGlobalKernelCacheTotals between batches.
 KernelCacheTotals GlobalKernelCacheTotals();
+
+/// Zeroes the process-wide totals (test isolation; benches prefer the
+/// snapshot-delta pattern, which also works with concurrent fits).
+void ResetGlobalKernelCacheTotals();
 
 /// LRU cache of kernel rows over an owned CodeMatrix.
 class KernelCache : public KernelRowSource {
@@ -67,6 +75,9 @@ class KernelCache : public KernelRowSource {
   /// Kernel row i (n floats, identical bit pattern to ComputeGram's row).
   /// The pointer is valid until the next Row() call on this cache —
   /// until the next call for a DIFFERENT row when CanServeTwoRows().
+  /// While an active restriction is installed (RestrictActive), only the
+  /// restricted entries of the returned row are valid: a miss computes
+  /// just those columns, so shrunk SMO sweeps never fault in dead ones.
   const float* Row(size_t i) override;
 
   /// Serves diagonal entries from a precomputed per-fit array (libsvm's
@@ -75,6 +86,19 @@ class KernelCache : public KernelRowSource {
   /// to a single O(d) KernelEval otherwise. Never computes or evicts a
   /// row and never counts as a hit or miss.
   float At(size_t i, size_t j) const override;
+
+  /// The per-fit diagonal K(x_t, x_t) (libsvm's QD), computed once in
+  /// the constructor; WSS2 reads eta candidates straight from it.
+  const float* Diag() const override { return diag_.data(); }
+
+  /// Narrows Row() computation to the given ascending subset of original
+  /// indices. Rows computed under a restriction are valid for every
+  /// LATER (smaller) restriction in the same era, because the solver's
+  /// active set only shrinks between unshrinks; ClearActiveRestriction
+  /// closes the era, after which partial rows recompute on next fetch
+  /// (full rows stay valid forever).
+  void RestrictActive(const int32_t* indices, size_t count) override;
+  void ClearActiveRestriction() override;
 
   size_t size() const override { return matrix_.num_rows(); }
   /// With capacity >= 2 the most-recently-used row is never the eviction
@@ -99,6 +123,18 @@ class KernelCache : public KernelRowSource {
   void MoveToFront(int32_t slot);
   void PushFront(int32_t slot);
   void Detach(int32_t slot);
+  /// A resident slot serves hits iff it was computed full (every column)
+  /// or within the current restriction era (its columns are a superset
+  /// of the current active set).
+  bool SlotUsable(int32_t slot) const {
+    return slot_full_[static_cast<size_t>(slot)] != 0 ||
+           slot_era_[static_cast<size_t>(slot)] == era_;
+  }
+  /// Debug contract check: while restricted, callers may only touch
+  /// restricted indices.
+  bool InRestriction(size_t i) const {
+    return restrict_idx_.empty() || member_mark_[i] == restrict_serial_;
+  }
 
   CodeMatrix matrix_;
   KernelConfig kernel_;
@@ -114,6 +150,15 @@ class KernelCache : public KernelRowSource {
   size_t used_slots_ = 0;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
+  // Active-restriction state (see RestrictActive): the restricted column
+  // set, an era counter bumped when a restriction is lifted, and per-slot
+  // tags recording how each resident row was computed.
+  std::vector<int32_t> restrict_idx_;  // empty = no restriction
+  uint64_t era_ = 0;
+  uint64_t restrict_serial_ = 0;
+  std::vector<uint64_t> member_mark_;  // n; == restrict_serial_ if member
+  std::vector<uint64_t> slot_era_;
+  std::vector<uint8_t> slot_full_;
 };
 
 }  // namespace ml

@@ -1,12 +1,87 @@
 #include "hamlet/ml/svm/smo.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <limits>
+#include <numeric>
+#include <string>
+
+#include "hamlet/common/logging.h"
 
 namespace hamlet {
 namespace ml {
+
+namespace {
+
+/// Process-wide SMO totals, accumulated when solves finish. Relaxed
+/// atomics: concurrent grid-search fits only share the sums; readers
+/// (bench reporting) run after the fits.
+std::atomic<uint64_t> g_smo_fits{0};
+std::atomic<uint64_t> g_smo_iterations{0};
+std::atomic<uint64_t> g_smo_shrink_events{0};
+std::atomic<uint64_t> g_smo_unshrink_events{0};
+
+/// Shared parser for the HAMLET_SMO_WSS2 / HAMLET_SMO_SHRINK booleans:
+/// unset/empty and the usual truthy spellings mean ON; falsy spellings
+/// mean OFF; garbage warns once per distinct value and stays ON.
+bool SmoBoolFromEnv(const char* name, const char* warn_key) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return true;
+  const std::string v(value);
+  if (v == "1" || v == "on" || v == "true" || v == "yes") return true;
+  if (v == "0" || v == "off" || v == "false" || v == "no") return false;
+  if (FirstOccurrence(std::string(warn_key) + v)) {
+    std::fprintf(stderr,
+                 "hamlet: unrecognized %s=\"%s\" (expected 0/1, on/off, "
+                 "true/false); leaving it enabled\n",
+                 name, value);
+  }
+  return true;
+}
+
+bool ResolveToggle(SmoToggle toggle, bool (*env_fn)()) {
+  switch (toggle) {
+    case SmoToggle::kOn:
+      return true;
+    case SmoToggle::kOff:
+      return false;
+    case SmoToggle::kEnv:
+      break;
+  }
+  return env_fn();
+}
+
+}  // namespace
+
+bool SmoWss2FromEnv() {
+  return SmoBoolFromEnv("HAMLET_SMO_WSS2", "smo_wss2:");
+}
+
+bool SmoShrinkFromEnv() {
+  return SmoBoolFromEnv("HAMLET_SMO_SHRINK", "smo_shrink:");
+}
+
+SmoTotals GlobalSmoTotals() {
+  SmoTotals totals;
+  totals.fits = g_smo_fits.load(std::memory_order_relaxed);
+  totals.iterations = g_smo_iterations.load(std::memory_order_relaxed);
+  totals.shrink_events =
+      g_smo_shrink_events.load(std::memory_order_relaxed);
+  totals.unshrink_events =
+      g_smo_unshrink_events.load(std::memory_order_relaxed);
+  return totals;
+}
+
+void ResetGlobalSmoTotals() {
+  g_smo_fits.store(0, std::memory_order_relaxed);
+  g_smo_iterations.store(0, std::memory_order_relaxed);
+  g_smo_shrink_events.store(0, std::memory_order_relaxed);
+  g_smo_unshrink_events.store(0, std::memory_order_relaxed);
+}
 
 double DegenerateEndpointAj(double lo, double hi, double ai_old,
                             double aj_old, double yi, double yj,
@@ -37,54 +112,136 @@ double DegenerateEndpointAj(double lo, double hi, double ai_old,
   return aj_old;
 }
 
+size_t SelectWss2J(const float* row_i, const float* diag,
+                   const double* error, const int8_t* y,
+                   const double* alpha, double C, const int32_t* active,
+                   size_t active_count, double kii, double up_best) {
+  // LIBSVM WSS2: among violating I_low candidates, maximise
+  //   (b_t)^2 / a_t,  b_t = up_best - score_t > 0,
+  //   a_t = kii + K_tt - 2 K_it clamped below by tau
+  // (the constant factor 2 in the paper's gain is argmax-invariant).
+  // Strict > keeps the first maximum, so equal-gain candidates resolve
+  // to the lowest original index.
+  constexpr double kTau = 1e-12;
+  double best_gain = -std::numeric_limits<double>::infinity();
+  size_t best = std::numeric_limits<size_t>::max();
+  for (size_t k = 0; k < active_count; ++k) {
+    const size_t t = static_cast<size_t>(active[k]);
+    const bool in_low = (y[t] > 0 && alpha[t] > 0.0) ||
+                        (y[t] < 0 && alpha[t] < C);
+    if (!in_low) continue;
+    const double diff = up_best + error[t];  // up_best - (-error_t)
+    if (diff <= 0.0) continue;
+    double eta = kii + static_cast<double>(diag[t]) -
+                 2.0 * static_cast<double>(row_i[t]);
+    if (eta < kTau) eta = kTau;
+    const double gain = diff * diff / eta;
+    if (gain > best_gain) {
+      best_gain = gain;
+      best = t;
+    }
+  }
+  return best;
+}
+
 namespace {
 
-/// f(x_i) - y_i maintained for every point (the SMO error cache).
+/// SMO state: alpha, the error cache (f(x_i) - y_i) and the active set.
+/// With shrinking off the active set is permanently [0, n) and every
+/// loop below visits t = 0..n-1 in order, reproducing the historical
+/// full-scan solver arithmetic exactly.
 struct Solver {
   KernelRowSource& rows;
   const std::vector<int8_t>& y;
   const SmoConfig& cfg;
   size_t n;
+  bool wss2;
+  bool shrinking;
   std::vector<double> alpha;
   std::vector<double> error;  // f(x_i) - y_i; with alpha = 0, f = bias = 0
   std::vector<float> row_i;   // scratch copy of kernel row i (see below)
+  std::vector<int32_t> active;    // ascending original indices
+  std::vector<uint8_t> in_active;  // n flags mirroring `active`
+  bool shrunk = false;             // active.size() < n
+  bool aggressive_unshrunk = false;  // one-time 10x-tolerance unshrink
+  size_t shrink_events = 0;
+  size_t unshrink_events = 0;
   double bias = 0.0;
 
   Solver(KernelRowSource& kernel_rows, const std::vector<int8_t>& labels,
-         const SmoConfig& config)
+         const SmoConfig& config, bool use_wss2, bool use_shrinking)
       : rows(kernel_rows), y(labels), cfg(config), n(labels.size()),
-        alpha(n, 0.0), error(n), row_i(n) {
+        wss2(use_wss2), shrinking(use_shrinking), alpha(n, 0.0), error(n),
+        row_i(n), active(n), in_active(n, 1) {
     for (size_t i = 0; i < n; ++i) error[i] = -static_cast<double>(y[i]);
+    std::iota(active.begin(), active.end(), 0);
   }
 
-  /// Selects the maximal violating pair (i, j); returns false at optimum.
-  bool SelectPair(size_t& out_i, size_t& out_j) const {
-    // LIBSVM WSS1: i maximises -y_t grad_t over I_up, j minimises it over
-    // I_low. With error_t = f(x_t) - y_t, -y_t grad_t equals -error_t up
-    // to a constant bias shift that cancels in the comparison, so the
-    // selection score is simply -error_t.
-    double up_best = -std::numeric_limits<double>::infinity();
-    double low_best = std::numeric_limits<double>::infinity();
-    size_t up_idx = n, low_idx = n;
-    for (size_t t = 0; t < n; ++t) {
-      const bool in_up = (y[t] > 0 && alpha[t] < cfg.C) ||
-                         (y[t] < 0 && alpha[t] > 0.0);
-      const bool in_low = (y[t] > 0 && alpha[t] > 0.0) ||
-                          (y[t] < 0 && alpha[t] < cfg.C);
+  bool InUp(size_t t) const {
+    return (y[t] > 0 && alpha[t] < cfg.C) || (y[t] < 0 && alpha[t] > 0.0);
+  }
+  bool InLow(size_t t) const {
+    return (y[t] > 0 && alpha[t] > 0.0) || (y[t] < 0 && alpha[t] < cfg.C);
+  }
+
+  /// Max up-score / min low-score over the active set (the violation
+  /// m - M drives both the stopping rule and the shrink thresholds).
+  void ScanScores(double& up_best, size_t& up_idx, double& low_best,
+                  size_t& low_idx) const {
+    up_best = -std::numeric_limits<double>::infinity();
+    low_best = std::numeric_limits<double>::infinity();
+    up_idx = n;
+    low_idx = n;
+    for (size_t k = 0; k < active.size(); ++k) {
+      const size_t t = static_cast<size_t>(active[k]);
       const double score = -error[t];
-      if (in_up && score > up_best) {
+      if (InUp(t) && score > up_best) {
         up_best = score;
         up_idx = t;
       }
-      if (in_low && score < low_best) {
+      if (InLow(t) && score < low_best) {
         low_best = score;
         low_idx = t;
       }
     }
+  }
+
+  /// Selects the working pair over the active set; returns false at the
+  /// active-set optimum (caller decides whether that is global). With
+  /// error_t = f(x_t) - y_t, the LIBSVM selection score -y_t grad_t
+  /// equals -error_t up to a constant bias shift that cancels in every
+  /// comparison.
+  bool SelectPair(size_t& out_i, size_t& out_j) {
+    double up_best, low_best;
+    size_t up_idx, low_idx;
+    ScanScores(up_best, up_idx, low_best, low_idx);
     if (up_idx == n || low_idx == n) return false;
     if (up_best - low_best < cfg.tolerance) return false;
+    if (!wss2) {
+      // First-order WSS1: the maximal violating pair itself.
+      out_i = up_idx;
+      out_j = low_idx;
+      return true;
+    }
+    // WSS2: fetch i's kernel row once and pick j by quadratic gain. The
+    // row is read in place (no need to survive a second fetch here);
+    // UpdatePair re-fetches it, which is a cache hit for any source
+    // that can hold a row.
+    const float* gi = rows.Row(up_idx);
+    const size_t j = SelectWss2J(gi, rows.Diag(), error.data(), y.data(),
+                                 alpha.data(), cfg.C, active.data(),
+                                 active.size(),
+                                 static_cast<double>(rows.Diag()[up_idx]),
+                                 up_best);
+    if (j == std::numeric_limits<size_t>::max()) {
+      // No candidate violates STRICTLY (diff > 0). With tolerance > 0
+      // the check above guarantees one, but a caller-supplied
+      // tolerance <= 0 reaches here at an exact active-set optimum —
+      // report optimality rather than indexing with the sentinel.
+      return false;
+    }
     out_i = up_idx;
-    out_j = low_idx;
+    out_j = j;
     return true;
   }
 
@@ -159,13 +316,100 @@ struct Solver {
     const double delta_b = new_bias - bias;
     bias = new_bias;
 
-    // Refresh the error cache: O(n) with the two fetched rows.
+    // Refresh the error cache over the active set: O(active) with the
+    // two fetched rows. Inactive errors go stale by design; Unshrink
+    // reconstructs them from scratch before they are ever read again.
     const double di = yi * (ai_new - ai_old);
     const double dj = yj * (aj_new - aj_old);
-    for (size_t t = 0; t < n; ++t) {
+    for (size_t k = 0; k < active.size(); ++k) {
+      const size_t t = static_cast<size_t>(active[k]);
       error[t] += di * gi[t] + dj * gj[t] + delta_b;
     }
     return true;
+  }
+
+  /// Reconstructs the full error cache and reactivates every point.
+  /// Stale inactive errors are recomputed from scratch —
+  ///   error[t] = sum_s alpha_s y_s K_st + bias - y_t
+  /// accumulated in ascending s over full kernel rows — so the values
+  /// (and everything downstream) are independent of the cache budget.
+  /// Active errors keep their incrementally maintained values.
+  void Unshrink() {
+    if (!shrunk) return;
+    rows.ClearActiveRestriction();
+    for (size_t t = 0; t < n; ++t) {
+      if (!in_active[t]) error[t] = bias - static_cast<double>(y[t]);
+    }
+    for (size_t s = 0; s < n; ++s) {
+      if (alpha[s] == 0.0) continue;
+      const float* gs = rows.Row(s);
+      const double c = alpha[s] * static_cast<double>(y[s]);
+      for (size_t t = 0; t < n; ++t) {
+        if (!in_active[t]) error[t] += c * static_cast<double>(gs[t]);
+      }
+    }
+    active.resize(n);
+    std::iota(active.begin(), active.end(), 0);
+    std::fill(in_active.begin(), in_active.end(), uint8_t{1});
+    shrunk = false;
+    ++unshrink_events;
+  }
+
+  /// Periodic shrink pass (LIBSVM do_shrinking): once the active
+  /// violation falls within 10x tolerance, reconstruct and unshrink
+  /// aggressively (one time), then deactivate bound-pinned points whose
+  /// score can no longer enter the working set — an I_up-only point
+  /// with score below the min low-score, or an I_low-only point with
+  /// score above the max up-score.
+  void DoShrink() {
+    double up_best, low_best;
+    size_t up_idx, low_idx;
+    ScanScores(up_best, up_idx, low_best, low_idx);
+    if (up_idx == n || low_idx == n) return;  // SelectPair handles this
+    if (!aggressive_unshrunk && up_best - low_best <= cfg.tolerance * 10) {
+      aggressive_unshrunk = true;
+      Unshrink();
+      ScanScores(up_best, up_idx, low_best, low_idx);
+      if (up_idx == n || low_idx == n) return;
+    }
+    size_t kept = 0;
+    for (size_t k = 0; k < active.size(); ++k) {
+      const size_t t = static_cast<size_t>(active[k]);
+      const bool up = InUp(t), low = InLow(t);
+      const double score = -error[t];
+      bool drop = false;
+      if (up && !low) {
+        drop = score < low_best;
+      } else if (low && !up) {
+        drop = score > up_best;
+      }
+      if (drop) {
+        in_active[t] = 0;
+      } else {
+        active[kept++] = active[k];
+      }
+    }
+    if (kept < active.size()) {
+      active.resize(kept);
+      shrunk = active.size() < n;
+      ++shrink_events;
+      rows.RestrictActive(active.data(), active.size());
+    }
+  }
+
+  /// The legacy rescue for a blocked maximal pair: try other partners
+  /// for each end over the active set before giving up.
+  bool FallbackScan(size_t i, size_t j) {
+    bool progressed = false;
+    for (size_t k = 0; k < active.size() && !progressed; ++k) {
+      const size_t t = static_cast<size_t>(active[k]);
+      if (t != i && t != j) progressed = UpdatePair(i, t);
+    }
+    for (size_t k = 0; k < active.size() && !progressed; ++k) {
+      const size_t t = static_cast<size_t>(active[k]);
+      if (t != i && t != j) progressed = UpdatePair(t, j);
+    }
+    return progressed;
   }
 };
 
@@ -198,34 +442,65 @@ Result<SmoSolution> SolveSmo(KernelRowSource& rows,
     sol.num_support_vectors = 0;
     sol.cache_hits = 0;
     sol.cache_misses = 0;
+    sol.shrink_events = 0;
+    sol.unshrink_events = 0;
     return sol;
   }
 
-  Solver solver(rows, y, config);
+  const bool use_wss2 = ResolveToggle(config.use_wss2, &SmoWss2FromEnv);
+  const bool use_shrinking =
+      ResolveToggle(config.use_shrinking, &SmoShrinkFromEnv);
+  Solver solver(rows, y, config, use_wss2, use_shrinking);
+  const size_t shrink_period = std::min(n, size_t{1000});
+  size_t shrink_counter = shrink_period;
   size_t it = 0;
   for (; it < config.max_iterations; ++it) {
+    if (use_shrinking && --shrink_counter == 0) {
+      solver.DoShrink();
+      shrink_counter = shrink_period;
+    }
     size_t i = 0, j = 0;
     if (!solver.SelectPair(i, j)) {
-      sol.converged = true;
-      break;
+      // Optimal on the active set. If shrunk, that is only a candidate
+      // optimum: reconstruct the full gradient, unshrink, and re-check
+      // before declaring convergence (LIBSVM's exactness rule).
+      if (solver.shrunk) {
+        solver.Unshrink();
+        shrink_counter = 1;  // re-shrink at the next opportunity
+        if (!solver.SelectPair(i, j)) {
+          sol.converged = true;
+          break;
+        }
+      } else {
+        sol.converged = true;
+        break;
+      }
     }
     if (!solver.UpdatePair(i, j)) {
-      // The max-violating pair can be blocked by box clipping. Try other
-      // partners for the top violator before giving up (LIBSVM shrinks
+      // The selected pair can be blocked by box clipping under float
+      // rounding. Try other partners before giving up (LIBSVM shrinks
       // instead; a linear fallback scan is enough at our problem sizes).
-      bool progressed = false;
-      for (size_t t = 0; t < n && !progressed; ++t) {
-        if (t != i && t != j) progressed = solver.UpdatePair(i, t);
-      }
-      for (size_t t = 0; t < n && !progressed; ++t) {
-        if (t != i && t != j) progressed = solver.UpdatePair(t, j);
-      }
-      if (!progressed) {
+      if (!solver.FallbackScan(i, j)) {
+        if (solver.shrunk) {
+          // Points outside the active set may unblock the pair. Delay
+          // the next shrink by a full period — an immediate re-shrink
+          // would deterministically re-drop the same points before the
+          // full set was ever scanned, looping unshrink/shrink until
+          // the iteration budget burned out.
+          solver.Unshrink();
+          shrink_counter = shrink_period;
+          continue;
+        }
         // Numerically stuck: accept the current iterate.
         break;
       }
     }
   }
+  // A shrunk final iterate (iteration budget exhausted) still reports
+  // authoritative alpha/bias, but the caller-owned row source must not
+  // be handed back with the restriction still installed — a later solve
+  // over the same source would read stale non-restricted columns.
+  if (solver.shrunk) rows.ClearActiveRestriction();
   sol.alpha = std::move(solver.alpha);
   sol.bias = solver.bias;
   sol.iterations = it;
@@ -233,6 +508,14 @@ Result<SmoSolution> SolveSmo(KernelRowSource& rows,
   for (double a : sol.alpha) sol.num_support_vectors += a > 1e-10;
   sol.cache_hits = rows.hits();
   sol.cache_misses = rows.misses();
+  sol.shrink_events = solver.shrink_events;
+  sol.unshrink_events = solver.unshrink_events;
+  g_smo_fits.fetch_add(1, std::memory_order_relaxed);
+  g_smo_iterations.fetch_add(it, std::memory_order_relaxed);
+  g_smo_shrink_events.fetch_add(solver.shrink_events,
+                                std::memory_order_relaxed);
+  g_smo_unshrink_events.fetch_add(solver.unshrink_events,
+                                  std::memory_order_relaxed);
   return sol;
 }
 

@@ -2,15 +2,28 @@
 //
 // Solves   min_a  1/2 sum_ij a_i a_j y_i y_j K_ij - sum_i a_i
 //          s.t.   0 <= a_i <= C,  sum_i a_i y_i = 0
-// using Platt-style pairwise updates with a full error cache and
-// maximal-violating-pair working-set selection. Kernel rows are supplied
-// by a KernelRowSource: either the lazy LRU KernelCache (the production
-// path, see kernel_cache.h) or a precomputed full Gram matrix wrapped in
-// FullGramRowSource. A source whose row pointers cannot survive one
-// subsequent fetch (CanServeTwoRows() == false, e.g. a 1-row cache) has
-// row i staged through a solver-side scratch copy; either way the
-// arithmetic consumes identical float values in identical order, so the
-// solution is bit-identical for any row source and any cache size.
+// using Platt-style pairwise updates with an error cache maintained over
+// an active set. Working-set selection is LIBSVM-style second-order
+// (WSS2) by default: i maximises the gradient violation over I_up, j
+// maximises the quadratic gain (G_i - G_j)^2 / max(eta, tau) over the
+// violating I_low candidates, using the cached kernel diagonal plus the
+// single kernel row for i. Shrinking periodically deactivates
+// bound-pinned points whose gradients cannot re-enter the working set;
+// before convergence is declared the solver reconstructs the full
+// gradient and unshrinks, so the returned solution is tolerance-exact on
+// the full problem. Both accelerations can be disabled
+// (SmoConfig::use_wss2 / use_shrinking, env HAMLET_SMO_WSS2 /
+// HAMLET_SMO_SHRINK); with both off the solver runs the historical
+// first-order max-violating-pair loop bit-identically.
+//
+// Kernel rows are supplied by a KernelRowSource: either the lazy LRU
+// KernelCache (the production path, see kernel_cache.h) or a precomputed
+// full Gram matrix wrapped in FullGramRowSource. A source whose row
+// pointers cannot survive one subsequent fetch (CanServeTwoRows() ==
+// false, e.g. a 1-row cache) has row i staged through a solver-side
+// scratch copy; either way the arithmetic consumes identical float
+// values in identical order, so the solution is bit-identical for any
+// row source and any cache size.
 
 #ifndef HAMLET_ML_SVM_SMO_H_
 #define HAMLET_ML_SVM_SMO_H_
@@ -23,6 +36,25 @@
 namespace hamlet {
 namespace ml {
 
+/// Tri-state switch for solver accelerations that default to an
+/// environment lookup. kEnv resolves HAMLET_SMO_WSS2 /
+/// HAMLET_SMO_SHRINK at solve time (both default ON when unset); tests
+/// and callers that must pin a path use kOn/kOff, which ignore the
+/// environment entirely.
+enum class SmoToggle : uint8_t {
+  kEnv = 0,
+  kOn,
+  kOff,
+};
+
+/// HAMLET_SMO_WSS2 resolved to a bool: unset/empty/1/on/true/yes = true,
+/// 0/off/false/no = false; anything else warns on stderr once per
+/// distinct value and falls back to true (the default).
+bool SmoWss2FromEnv();
+
+/// HAMLET_SMO_SHRINK with the same grammar and default as SmoWss2FromEnv.
+bool SmoShrinkFromEnv();
+
 /// Solver parameters.
 struct SmoConfig {
   double C = 1.0;
@@ -33,6 +65,15 @@ struct SmoConfig {
   /// the 64 MiB default (KernelCacheBytesFromEnv). The solver itself is
   /// agnostic: it uses whatever KernelRowSource it is handed.
   size_t cache_bytes = 0;
+  /// Second-order working-set selection. kOff restores the historical
+  /// first-order max-violating-pair loop (bit-identical when
+  /// use_shrinking is also off).
+  SmoToggle use_wss2 = SmoToggle::kEnv;
+  /// Periodic deactivation of bound-pinned points (LIBSVM shrinking).
+  /// The solver always reconstructs the full gradient and unshrinks
+  /// before declaring convergence, so the solution is tolerance-exact on
+  /// the full problem either way.
+  SmoToggle use_shrinking = SmoToggle::kEnv;
 };
 
 /// Solver output: dual coefficients and intercept.
@@ -40,7 +81,8 @@ struct SmoConfig {
 /// Field contract: every OK return from SolveSmo sets every field
 /// deterministically — including the degenerate single-class early
 /// return (zero alpha, bias at the majority label, iterations = 0,
-/// converged = true, num_support_vectors = 0, zero cache counters).
+/// converged = true, num_support_vectors = 0, zero cache and shrink
+/// counters).
 struct SmoSolution {
   std::vector<double> alpha;
   double bias = 0.0;
@@ -51,7 +93,31 @@ struct SmoSolution {
   /// counts every access as a hit). hits + misses = total row fetches.
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
+  /// Shrink passes that deactivated at least one point.
+  size_t shrink_events = 0;
+  /// Full-gradient reconstructions (the aggressive 10x-tolerance
+  /// unshrink, the final pre-convergence check, and stuck-pair rescues).
+  size_t unshrink_events = 0;
 };
+
+/// Process-wide SMO counters summed over completed solves; the SVM-heavy
+/// benches report deltas of these per bench run (see
+/// bench::SvmStatsScope). fits counts solves that entered the pairwise
+/// loop (single-class early returns are excluded).
+struct SmoTotals {
+  uint64_t fits = 0;
+  uint64_t iterations = 0;
+  uint64_t shrink_events = 0;
+  uint64_t unshrink_events = 0;
+};
+
+/// Snapshot of the totals accumulated so far (all solves in this
+/// process). Pair with ResetGlobalSmoTotals or subtract two snapshots to
+/// scope the counters to one fit batch.
+SmoTotals GlobalSmoTotals();
+
+/// Zeroes the process-wide SMO totals (test isolation).
+void ResetGlobalSmoTotals();
 
 /// Supplier of kernel matrix rows to the solver. Row(i) returns n floats
 /// K(x_i, x_t); the pointer is only guaranteed valid until the next
@@ -66,9 +132,30 @@ class KernelRowSource {
   /// before committing to the two full-row fetches an update needs, so
   /// no-progress probes (box-clipped pairs, the stuck-pair fallback
   /// scan) stay O(d) instead of recomputing rows under a tight cache.
+  /// While an active restriction is installed, both i and j must be
+  /// restricted indices.
   virtual float At(size_t i, size_t j) const = 0;
+  /// The n diagonal entries K(x_t, x_t), bit-identical to Row(t)[t].
+  /// Stable for the lifetime of the source; WSS2 reads eta candidates
+  /// from here without fetching rows.
+  virtual const float* Diag() const = 0;
   /// Problem size n (rows are n floats).
   virtual size_t size() const = 0;
+  /// Narrows subsequent Row() computations to the given ascending
+  /// original indices (the solver's shrunk active set). Implementations
+  /// may leave non-restricted entries of returned rows unspecified, so
+  /// callers must only read restricted entries while a restriction is
+  /// installed. Successive calls must pass subsets of the previous
+  /// restriction (the active set only shrinks between
+  /// ClearActiveRestriction calls). Default: ignored — a source that
+  /// always serves full rows is trivially correct.
+  virtual void RestrictActive(const int32_t* indices, size_t count) {
+    (void)indices;
+    (void)count;
+  }
+  /// Lifts the restriction: subsequent Row() calls serve fully valid
+  /// rows again (gradient reconstruction needs the dead columns).
+  virtual void ClearActiveRestriction() {}
   /// True when a returned row pointer additionally survives ONE
   /// subsequent Row() call for a different index (the source can hold
   /// two rows at once). The solver then reads the pair (i, j) directly
@@ -82,24 +169,29 @@ class KernelRowSource {
 /// Thin adapter presenting a precomputed n x n row-major Gram matrix as a
 /// row source. Keeps the historical SolveSmo(gram, ...) entry point and
 /// the tests' hand-crafted Gram matrices working; every access counts as
-/// a hit (the matrix is fully materialised).
+/// a hit (the matrix is fully materialised) and active restrictions are
+/// no-ops (full rows are always valid).
 class FullGramRowSource : public KernelRowSource {
  public:
   /// `gram` must outlive the adapter and hold n*n floats.
   FullGramRowSource(const std::vector<float>& gram, size_t n)
-      : gram_(gram), n_(n) {}
+      : gram_(gram), n_(n), diag_(n) {
+    for (size_t i = 0; i < n; ++i) diag_[i] = gram[i * n + i];
+  }
 
   const float* Row(size_t i) override {
     ++hits_;
     return gram_.data() + i * n_;
   }
   float At(size_t i, size_t j) const override { return gram_[i * n_ + j]; }
+  const float* Diag() const override { return diag_.data(); }
   size_t size() const override { return n_; }
   uint64_t hits() const override { return hits_; }
 
  private:
   const std::vector<float>& gram_;
   size_t n_;
+  std::vector<float> diag_;
   uint64_t hits_ = 0;
 };
 
@@ -115,6 +207,21 @@ double DegenerateEndpointAj(double lo, double hi, double ai_old,
                             double aj_old, double yi, double yj,
                             double error_i, double error_j, double bias,
                             double kii, double kjj, double kij);
+
+/// Second-order (WSS2) j-step: given i's kernel row and up-score
+/// `up_best` (= -error_i), returns the original index of the I_low
+/// candidate maximising the quadratic gain
+///   (up_best - score_t)^2 / max(kii + K_tt - 2*K_it, tau),  tau = 1e-12,
+/// over the `active_count` ascending original indices in `active`, or
+/// SIZE_MAX when no candidate violates (up_best - score_t <= 0 for all).
+/// Ties in gain break to the LOWEST original index (the scan keeps the
+/// first maximum), which pins the iterate sequence deterministically.
+/// Exposed for direct tie-break testing; the solver calls it with the
+/// row it fetched for i during selection.
+size_t SelectWss2J(const float* row_i, const float* diag,
+                   const double* error, const int8_t* y,
+                   const double* alpha, double C, const int32_t* active,
+                   size_t active_count, double kii, double up_best);
 
 /// Runs SMO against `rows` (n x n kernel values served row by row);
 /// `y` holds labels in {-1, +1} and y.size() must equal rows.size().

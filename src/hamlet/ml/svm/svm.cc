@@ -37,6 +37,9 @@ Status KernelSvm::Fit(const DataView& train) {
     sv_coeff_.clear();
     last_cache_hits_ = 0;
     last_cache_misses_ = 0;
+    last_iterations_ = 0;
+    last_shrink_events_ = 0;
+    last_unshrink_events_ = 0;
     return Status::OK();
   }
   is_constant_ = false;
@@ -53,6 +56,8 @@ Status KernelSvm::Fit(const DataView& train) {
   smo_cfg.tolerance = config_.tolerance;
   smo_cfg.max_iterations = config_.max_iterations;
   smo_cfg.cache_bytes = config_.smo_cache_bytes;
+  smo_cfg.use_wss2 = config_.smo_wss2;
+  smo_cfg.use_shrinking = config_.smo_shrinking;
   KernelCache cache(std::move(m), config_.kernel, smo_cfg.cache_bytes);
   Result<SmoSolution> sol = SolveSmo(cache, y, smo_cfg);
   if (!sol.ok()) return sol.status();
@@ -61,6 +66,9 @@ Status KernelSvm::Fit(const DataView& train) {
   bias_ = sol.value().bias;
   last_cache_hits_ = sol.value().cache_hits;
   last_cache_misses_ = sol.value().cache_misses;
+  last_iterations_ = sol.value().iterations;
+  last_shrink_events_ = sol.value().shrink_events;
+  last_unshrink_events_ = sol.value().unshrink_events;
   sv_rows_.clear();
   sv_coeff_.clear();
   const std::vector<uint32_t>& rows = cache.matrix().codes();

@@ -36,6 +36,12 @@ struct SvmConfig {
   /// default. The solve is bit-identical at any budget; only speed and
   /// memory change. Tests pin tiny budgets through this knob.
   size_t smo_cache_bytes = 0;
+  /// Solver accelerations (see SmoConfig): second-order working-set
+  /// selection and shrinking, both defaulting to the environment
+  /// (HAMLET_SMO_WSS2 / HAMLET_SMO_SHRINK, on unless disabled). Tests
+  /// pin kOn/kOff to compare the paths.
+  SmoToggle smo_wss2 = SmoToggle::kEnv;
+  SmoToggle smo_shrinking = SmoToggle::kEnv;
 };
 
 /// C-SVC with categorical-native kernels.
@@ -65,6 +71,14 @@ class KernelSvm : public Classifier {
   uint64_t last_cache_hits() const { return last_cache_hits_; }
   uint64_t last_cache_misses() const { return last_cache_misses_; }
 
+  /// SMO solver counters of the most recent Fit (0 before any fit and
+  /// for the degenerate constant-classifier path): pairwise-update
+  /// iterations, shrink passes that deactivated points, and full
+  /// gradient reconstructions.
+  size_t last_iterations() const { return last_iterations_; }
+  size_t last_shrink_events() const { return last_shrink_events_; }
+  size_t last_unshrink_events() const { return last_unshrink_events_; }
+
  private:
   SvmConfig config_;
   size_t d_ = 0;
@@ -76,6 +90,9 @@ class KernelSvm : public Classifier {
   bool converged_ = false;
   uint64_t last_cache_hits_ = 0;
   uint64_t last_cache_misses_ = 0;
+  size_t last_iterations_ = 0;
+  size_t last_shrink_events_ = 0;
+  size_t last_unshrink_events_ = 0;
 };
 
 }  // namespace ml

@@ -8,6 +8,7 @@
 
 #include <cstdlib>
 #include <limits>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -134,6 +135,87 @@ TEST(KernelCacheTest, TinyBudgetStillHoldsOneRow) {
   EXPECT_NE(cache.Row(0), nullptr);
 }
 
+TEST(KernelCacheTest, DiagMatchesGramDiagonal) {
+  const SmoProblem p(16);
+  const CodeMatrix probe(p.train);
+  const size_t n = probe.num_rows();
+  for (const KernelConfig& kc : AllKernels()) {
+    const std::vector<float> gram =
+        ComputeGram(kc, probe.codes(), n, probe.num_features());
+    KernelCache cache(CodeMatrix(p.train), kc, kUnbounded);
+    FullGramRowSource full(gram, n);
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(cache.Diag()[i], gram[i * n + i])
+          << KernelTypeName(kc.type) << " i=" << i;
+      ASSERT_EQ(full.Diag()[i], gram[i * n + i]);
+    }
+  }
+}
+
+TEST(KernelCacheTest, RestrictActiveComputesOnlyActiveColumns) {
+  const SmoProblem p(17);
+  const CodeMatrix probe(p.train);
+  const size_t n = probe.num_rows();
+  ASSERT_GE(n, 12u);
+  const KernelConfig kc = AllKernels()[2];
+  const std::vector<float> gram =
+      ComputeGram(kc, probe.codes(), n, probe.num_features());
+  KernelCache cache(CodeMatrix(p.train), kc, kUnbounded);
+
+  // A row computed before any restriction is full and stays valid.
+  cache.Row(0);
+  EXPECT_EQ(cache.misses(), 1u);
+
+  // Restrict to the even indices: a fresh fetch computes exactly those
+  // entries (the gram comparison reads only restricted columns — the
+  // rest of the buffer is unspecified by contract).
+  std::vector<int32_t> evens;
+  for (size_t t = 0; t < n; t += 2) evens.push_back(static_cast<int32_t>(t));
+  cache.RestrictActive(evens.data(), evens.size());
+  const float* partial = cache.Row(2);
+  EXPECT_EQ(cache.misses(), 2u);
+  for (const int32_t t : evens) {
+    ASSERT_EQ(partial[t], gram[2 * n + static_cast<size_t>(t)]) << t;
+  }
+
+  // A narrower restriction in the same era is a subset of the computed
+  // columns, so the partial row still serves hits.
+  std::vector<int32_t> narrower;
+  for (size_t t = 2; t < n; t += 4) {
+    narrower.push_back(static_cast<int32_t>(t));
+  }
+  cache.RestrictActive(narrower.data(), narrower.size());
+  cache.Row(2);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 2u);
+
+  // Lifting the restriction closes the era: the full row keeps hitting,
+  // the partial row recomputes (now fully) on its next fetch.
+  cache.ClearActiveRestriction();
+  cache.Row(0);
+  EXPECT_EQ(cache.hits(), 2u);
+  const float* recomputed = cache.Row(2);
+  EXPECT_EQ(cache.misses(), 3u);
+  for (size_t t = 0; t < n; ++t) {
+    ASSERT_EQ(recomputed[t], gram[2 * n + t]) << t;
+  }
+}
+
+TEST(KernelCacheTest, ResetGlobalTotalsZeroes) {
+  {
+    const SmoProblem p(18);
+    KernelCache cache(CodeMatrix(p.train), AllKernels()[0], kUnbounded);
+    cache.Row(0);
+    cache.Row(0);
+  }
+  const KernelCacheTotals before = GlobalKernelCacheTotals();
+  EXPECT_GT(before.hits + before.misses, 0u);
+  ResetGlobalKernelCacheTotals();
+  const KernelCacheTotals after = GlobalKernelCacheTotals();
+  EXPECT_EQ(after.hits, 0u);
+  EXPECT_EQ(after.misses, 0u);
+}
+
 TEST(KernelCacheTest, GlobalTotalsAccumulateOnDestruction) {
   const SmoProblem p(15);
   const KernelCacheTotals before = GlobalKernelCacheTotals();
@@ -173,38 +255,124 @@ TEST(KernelCacheEnvTest, GarbageAndZeroFallBackToDefault) {
 
 /// The cached solver must be bit-identical to the full-Gram adapter:
 /// same alpha bits, same bias, same iteration count, same support-vector
-/// set, at every cache size, because the solver stages rows through a
-/// scratch copy and the cache serves ComputeGram-identical floats.
+/// set, at every cache size — on BOTH solver paths (second-order +
+/// shrinking, and the legacy first-order loop) — because the solver
+/// stages rows through a scratch copy, never branches on cache
+/// residency, and the cache serves ComputeGram-identical floats (partial
+/// rows included: the restricted entries are the only ones read).
 TEST(SmoCacheParityTest, SolutionBitIdenticalAtAllCacheSizes) {
   const SmoProblem p(21);
-  SmoConfig cfg;
-  cfg.C = 5.0;
-  for (const KernelConfig& kc : AllKernels()) {
-    const CodeMatrix m(p.train);
-    const size_t n = m.num_rows();
-    const std::vector<float> gram =
-        ComputeGram(kc, m.codes(), n, m.num_features());
-    const Result<SmoSolution> base = SolveSmo(gram, p.y, cfg);
-    ASSERT_TRUE(base.ok());
-    ASSERT_GT(base.value().num_support_vectors, 0u);
+  for (const bool modern : {false, true}) {
+    SmoConfig cfg;
+    cfg.C = 5.0;
+    cfg.use_wss2 = modern ? SmoToggle::kOn : SmoToggle::kOff;
+    cfg.use_shrinking = modern ? SmoToggle::kOn : SmoToggle::kOff;
+    for (const KernelConfig& kc : AllKernels()) {
+      const CodeMatrix m(p.train);
+      const size_t n = m.num_rows();
+      const std::vector<float> gram =
+          ComputeGram(kc, m.codes(), n, m.num_features());
+      const Result<SmoSolution> base = SolveSmo(gram, p.y, cfg);
+      ASSERT_TRUE(base.ok());
+      ASSERT_GT(base.value().num_support_vectors, 0u);
 
-    for (size_t cache_bytes :
-         {BytesForRows(1, n), BytesForRows(2, n), kUnbounded}) {
-      KernelCache cache(CodeMatrix(p.train), kc, cache_bytes);
-      const Result<SmoSolution> cached = SolveSmo(cache, p.y, cfg);
-      ASSERT_TRUE(cached.ok());
-      const SmoSolution& a = base.value();
-      const SmoSolution& b = cached.value();
-      EXPECT_EQ(a.alpha, b.alpha) << KernelTypeName(kc.type);  // bitwise
-      EXPECT_EQ(a.bias, b.bias) << KernelTypeName(kc.type);
-      EXPECT_EQ(a.iterations, b.iterations);
-      EXPECT_EQ(a.converged, b.converged);
-      EXPECT_EQ(a.num_support_vectors, b.num_support_vectors);
-      // Identical iterate sequences fetch identical row sequences: the
-      // adapter counts every fetch as a hit, the cache splits the same
-      // total into hits + misses.
-      EXPECT_EQ(a.cache_hits, b.cache_hits + b.cache_misses);
-      EXPECT_GT(b.cache_misses, 0u);
+      for (size_t cache_bytes :
+           {BytesForRows(1, n), BytesForRows(2, n), kUnbounded}) {
+        KernelCache cache(CodeMatrix(p.train), kc, cache_bytes);
+        const Result<SmoSolution> cached = SolveSmo(cache, p.y, cfg);
+        ASSERT_TRUE(cached.ok());
+        const SmoSolution& a = base.value();
+        const SmoSolution& b = cached.value();
+        EXPECT_EQ(a.alpha, b.alpha)
+            << KernelTypeName(kc.type) << " modern=" << modern;  // bitwise
+        EXPECT_EQ(a.bias, b.bias) << KernelTypeName(kc.type);
+        EXPECT_EQ(a.iterations, b.iterations);
+        EXPECT_EQ(a.converged, b.converged);
+        EXPECT_EQ(a.num_support_vectors, b.num_support_vectors);
+        EXPECT_EQ(a.shrink_events, b.shrink_events);
+        EXPECT_EQ(a.unshrink_events, b.unshrink_events);
+        // Identical iterate sequences fetch identical row sequences: the
+        // adapter counts every fetch as a hit, the cache splits the same
+        // total into hits + misses.
+        EXPECT_EQ(a.cache_hits, b.cache_hits + b.cache_misses);
+        EXPECT_GT(b.cache_misses, 0u);
+      }
+    }
+  }
+}
+
+/// Exhausting the iteration budget while the active set is shrunk must
+/// not hand the caller-owned source back with the restriction still
+/// installed: a later solve on the SAME cache has to see fully valid
+/// rows again (stale partial slots recompute via the era bump), and so
+/// must be bit-identical to a solve on a fresh cache.
+TEST(SmoCacheParityTest, BudgetExhaustedWhileShrunkLeavesSourceReusable) {
+  const SmoProblem p(24);
+  const CodeMatrix probe(p.train);
+  const KernelConfig kc = AllKernels()[2];
+  SmoConfig starved;
+  starved.C = 5.0;
+  starved.tolerance = 1e-6;  // prolong the solve past the shrink pass
+  starved.max_iterations = probe.num_rows() + 10;
+  starved.use_wss2 = SmoToggle::kOn;
+  starved.use_shrinking = SmoToggle::kOn;
+
+  KernelCache cache(CodeMatrix(p.train), kc, kUnbounded);
+  const Result<SmoSolution> aborted = SolveSmo(cache, p.y, starved);
+  ASSERT_TRUE(aborted.ok());
+  // Precondition for the scenario: a shrink happened and was never
+  // undone, so the abort fired while the active set was restricted.
+  ASSERT_GT(aborted.value().shrink_events, 0u);
+  ASSERT_EQ(aborted.value().unshrink_events, 0u);
+  ASSERT_FALSE(aborted.value().converged);
+
+  SmoConfig full = starved;
+  full.max_iterations = 200000;
+  const Result<SmoSolution> reused = SolveSmo(cache, p.y, full);
+  ASSERT_TRUE(reused.ok());
+  KernelCache fresh(CodeMatrix(p.train), kc, kUnbounded);
+  const Result<SmoSolution> baseline = SolveSmo(fresh, p.y, full);
+  ASSERT_TRUE(baseline.ok());
+  EXPECT_EQ(reused.value().alpha, baseline.value().alpha);  // bitwise
+  EXPECT_EQ(reused.value().bias, baseline.value().bias);
+  EXPECT_EQ(reused.value().iterations, baseline.value().iterations);
+}
+
+/// WSS2 + shrinking reach a different (usually much shorter) iterate
+/// sequence than the first-order loop, but both stop at a
+/// tolerance-exact optimum of the same dual, so the fitted classifiers
+/// must agree on every prediction — across all three kernels, a 1-row
+/// and an unbounded cache, and HAMLET_THREADS 1 and 4.
+TEST(SmoWss2ParityTest, PredictionsMatchFirstOrderAcrossKernelsCachesThreads) {
+  const SmoProblem p(23);
+  const CodeMatrix m(p.train);
+  const size_t n = m.num_rows();
+  for (const KernelConfig& kc : AllKernels()) {
+    for (const char* threads : {"1", "4"}) {
+      test::ScopedThreads scoped(threads);
+      for (size_t cache_bytes : {BytesForRows(1, n), kUnbounded}) {
+        auto fit = [&](SmoToggle wss2, SmoToggle shrink) {
+          SvmConfig cfg;
+          cfg.kernel = kc;
+          cfg.C = 5.0;
+          cfg.smo_cache_bytes = cache_bytes;
+          cfg.smo_wss2 = wss2;
+          cfg.smo_shrinking = shrink;
+          auto svm = std::make_unique<KernelSvm>(cfg);
+          EXPECT_TRUE(svm->Fit(p.train).ok());
+          EXPECT_TRUE(svm->converged());
+          return svm;
+        };
+        const auto legacy = fit(SmoToggle::kOff, SmoToggle::kOff);
+        const auto modern = fit(SmoToggle::kOn, SmoToggle::kOn);
+        EXPECT_GT(modern->last_iterations(), 0u);
+        EXPECT_EQ(modern->PredictAll(p.train), legacy->PredictAll(p.train))
+            << KernelTypeName(kc.type) << " threads=" << threads
+            << " cache_bytes=" << cache_bytes;
+        EXPECT_EQ(modern->PredictAll(p.test), legacy->PredictAll(p.test))
+            << KernelTypeName(kc.type) << " threads=" << threads
+            << " cache_bytes=" << cache_bytes;
+      }
     }
   }
 }

@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""Markdown hygiene check: relative links and heading anchors.
+
+Usage:
+
+    tools/check_markdown_links.py README.md ROADMAP.md docs
+
+Arguments are markdown files or directories (scanned recursively for
+*.md). For every inline link or image `[text](target)`:
+
+- `http(s)://`, `mailto:` and other scheme-qualified targets are
+  ignored (this is a repo-hygiene check, not a web crawler);
+- a relative path must resolve to an existing file or directory,
+  relative to the markdown file that contains the link;
+- a `#fragment` — on its own or after a relative `.md` path — must
+  match a heading anchor in the target file, using GitHub's slug rules
+  (lowercase, punctuation stripped, spaces to hyphens, `-N` suffixes
+  for duplicates).
+
+Fenced code blocks and inline code spans are excluded from scanning, so
+`[i][j]`-style snippets cannot produce false positives. Exits nonzero
+listing every broken link; CI runs this over README.md, ROADMAP.md and
+docs/ (the `docs` job).
+"""
+
+import argparse
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+SCHEME_RE = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def strip_code(text: str) -> str:
+    """Blanks fenced code blocks and inline code spans (keeps line count)."""
+    out_lines = []
+    in_fence = False
+    for line in text.splitlines():
+        if FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            out_lines.append("")
+            continue
+        out_lines.append("" if in_fence else re.sub(r"`[^`]*`", "", line))
+    return "\n".join(out_lines)
+
+
+def github_slug(heading: str, seen: dict) -> str:
+    """GitHub's anchor slug for a heading text, tracking duplicates."""
+    # Inline code and emphasis markers contribute their inner text only
+    # (underscores stay: GitHub keeps them in slugs).
+    text = re.sub(r"[`*]", "", heading)
+    # Drop markdown links in headings, keeping the link text.
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)  # punctuation out (keeps _ and -)
+    slug = text.replace(" ", "-")
+    count = seen.get(slug, 0)
+    seen[slug] = count + 1
+    return slug if count == 0 else f"{slug}-{count}"
+
+
+def anchors_of(path: str, cache: dict) -> set:
+    if path in cache:
+        return cache[path]
+    anchors = set()
+    seen: dict = {}
+    try:
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+    except OSError:
+        cache[path] = anchors
+        return anchors
+    in_fence = False
+    for line in text.splitlines():
+        if FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = HEADING_RE.match(line)
+        if match:
+            anchors.add(github_slug(match.group(2), seen))
+    cache[path] = anchors
+    return anchors
+
+
+def check_file(md_path: str, anchor_cache: dict) -> list:
+    errors = []
+    with open(md_path, encoding="utf-8") as f:
+        text = strip_code(f.read())
+    base_dir = os.path.dirname(os.path.abspath(md_path))
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        for match in LINK_RE.finditer(line):
+            target = match.group(1)
+            if SCHEME_RE.match(target):
+                continue  # external URL — out of scope
+            path_part, _, fragment = target.partition("#")
+            if path_part:
+                resolved = os.path.normpath(os.path.join(base_dir,
+                                                         path_part))
+                if not os.path.exists(resolved):
+                    errors.append(f"{md_path}:{lineno}: broken relative "
+                                  f"link {target!r} (no such file "
+                                  f"{resolved})")
+                    continue
+                anchor_file = resolved
+            else:
+                anchor_file = os.path.abspath(md_path)
+            if fragment:
+                if not anchor_file.endswith(".md"):
+                    continue  # anchors into non-markdown: not checkable
+                anchors = anchors_of(anchor_file, anchor_cache)
+                if fragment not in anchors:
+                    errors.append(f"{md_path}:{lineno}: broken anchor "
+                                  f"{target!r} (no heading "
+                                  f"#{fragment} in {anchor_file})")
+    return errors
+
+
+def collect_markdown(paths) -> list:
+    files = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, _, names in os.walk(path):
+                files.extend(os.path.join(root, n) for n in sorted(names)
+                             if n.endswith(".md"))
+        else:
+            files.append(path)
+    return files
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("paths", nargs="+",
+                    help="markdown files or directories to check")
+    args = ap.parse_args()
+
+    files = collect_markdown(args.paths)
+    if not files:
+        print("check_markdown_links: no markdown files found",
+              file=sys.stderr)
+        return 1
+    anchor_cache: dict = {}
+    errors = []
+    for md in files:
+        errors.extend(check_file(md, anchor_cache))
+    for err in errors:
+        print(err, file=sys.stderr)
+    print(f"check_markdown_links: {len(files)} files, "
+          f"{len(errors)} broken links")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
