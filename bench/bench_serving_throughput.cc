@@ -1,0 +1,235 @@
+// Serving throughput per learner family (extension bench, PR 6).
+//
+// For each serializable model family: fit on a synthetic training view,
+// round-trip the model through the binary format (io::SaveModel /
+// io::LoadModel — the loaded model is what a hamlet_serve process runs),
+// then measure sustained batched prediction throughput: the query set is
+// scored in HAMLET_SERVE_BATCH-row batches through PredictAll, repeated
+// over several runs, and summarised as predictions/sec with nearest-rank
+// p50/p99 batch latencies.
+//
+// After the table, one machine-parseable line per family:
+//   [serving] model=dt-gini rows=12000 runs=3 seconds=0.042
+//       preds_per_sec=285714.3 p50_us=350.0 p99_us=420.0   (one line)
+// run_all.py records them into BENCH_results.json (schema v5, see
+// docs/BENCH_SCHEMA.md).
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "hamlet/common/rng.h"
+#include "hamlet/data/dataset.h"
+#include "hamlet/data/view.h"
+#include "hamlet/io/serialize.h"
+#include "hamlet/ml/ann/mlp.h"
+#include "hamlet/ml/classifier.h"
+#include "hamlet/ml/knn/one_nn.h"
+#include "hamlet/ml/linear/logistic_regression.h"
+#include "hamlet/ml/majority.h"
+#include "hamlet/ml/nb/naive_bayes.h"
+#include "hamlet/ml/svm/svm.h"
+#include "hamlet/ml/tree/decision_tree.h"
+#include "hamlet/serve/server.h"
+#include "hamlet/serve/stats.h"
+#include "bench_util.h"
+
+namespace hamlet {
+namespace {
+
+struct ServingSizes {
+  size_t train_rows;
+  size_t query_rows;
+  size_t runs;
+};
+
+ServingSizes SizesFromMode() {
+  switch (bench::ModeFromEnv()) {
+    case bench::BenchMode::kSmoke:
+      return {400, 2000, 3};
+    case bench::BenchMode::kQuick:
+      return {1500, 20000, 5};
+    case bench::BenchMode::kFull:
+      return {4000, 100000, 10};
+  }
+  return {1500, 20000, 5};
+}
+
+/// Deterministic categorical dataset with label signal on feature 0.
+Dataset MakeServingDataset(size_t rows, uint64_t seed) {
+  const std::vector<uint32_t> domains = {16, 8, 12, 6, 10, 4};
+  std::vector<FeatureSpec> specs(domains.size());
+  for (size_t j = 0; j < domains.size(); ++j) {
+    specs[j].name = "f" + std::to_string(j);
+    specs[j].domain_size = domains[j];
+    specs[j].role = FeatureRole::kHome;
+  }
+  Dataset data(std::move(specs));
+  data.Reserve(rows);
+  Rng rng(seed);
+  std::vector<uint32_t> codes(domains.size());
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t j = 0; j < domains.size(); ++j) {
+      codes[j] = static_cast<uint32_t>(rng.UniformInt(domains[j]));
+    }
+    uint8_t label = 2 * codes[0] >= domains[0] ? 1 : 0;
+    if (rng.Bernoulli(0.1)) label = 1 - label;
+    data.AppendRowUnchecked(codes, label);
+  }
+  return data;
+}
+
+struct ServingLearner {
+  const char* label;
+  std::unique_ptr<ml::Classifier> (*make)();
+};
+
+/// The seven serializable families. SVM training is quadratic, so its
+/// fit rides on the shared max_train_rows cap; everything else fits the
+/// full training view.
+std::vector<ServingLearner> ServingRoster() {
+  return {
+      {"dt-gini", [] { return std::unique_ptr<ml::Classifier>(
+                           std::make_unique<ml::DecisionTree>()); }},
+      {"naive-bayes", [] { return std::unique_ptr<ml::Classifier>(
+                               std::make_unique<ml::NaiveBayes>()); }},
+      {"logreg-l1",
+       [] {
+         ml::LogisticRegressionConfig config;
+         config.nlambda = 5;
+         config.maxit = 60;
+         return std::unique_ptr<ml::Classifier>(
+             std::make_unique<ml::LogisticRegressionL1>(config));
+       }},
+      {"svm-rbf",
+       [] {
+         ml::SvmConfig config;
+         config.kernel.type = ml::KernelType::kRbf;
+         config.kernel.gamma = 0.2;
+         config.max_train_rows = 1000;
+         return std::unique_ptr<ml::Classifier>(
+             std::make_unique<ml::KernelSvm>(config));
+       }},
+      {"1nn", [] { return std::unique_ptr<ml::Classifier>(
+                       std::make_unique<ml::OneNearestNeighbor>()); }},
+      {"ann-mlp",
+       [] {
+         ml::MlpConfig config;
+         config.hidden_sizes = {32, 8};
+         config.epochs = 2;
+         return std::unique_ptr<ml::Classifier>(
+             std::make_unique<ml::Mlp>(config));
+       }},
+      {"majority", [] { return std::unique_ptr<ml::Classifier>(
+                            std::make_unique<ml::MajorityClassifier>()); }},
+  };
+}
+
+/// Scores `query` in serving-sized batches, accumulating one latency
+/// sample per batch — the same unit the hamlet_serve stats report.
+void ScoreBatched(const ml::Classifier& model, const DataView& query,
+                  size_t batch_size, serve::LatencyStats& stats) {
+  const size_t n = query.num_rows();
+  std::vector<uint32_t> ids;
+  for (size_t start = 0; start < n; start += batch_size) {
+    const size_t stop = std::min(n, start + batch_size);
+    ids.resize(stop - start);
+    for (size_t i = start; i < stop; ++i) {
+      ids[i - start] = static_cast<uint32_t>(i);
+    }
+    const DataView batch = query.SelectRows(ids);
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::vector<uint8_t> preds = model.PredictAll(batch);
+    const std::chrono::duration<double> dt =
+        std::chrono::steady_clock::now() - t0;
+    if (preds.size() != batch.num_rows()) {
+      bench::ReportFailure();
+      return;
+    }
+    stats.RecordBatch(preds.size(), dt.count());
+  }
+}
+
+}  // namespace
+}  // namespace hamlet
+
+int main() {
+  using namespace hamlet;
+
+  const auto sizes = SizesFromMode();
+  bench::PrintHeader("Serving throughput per model family (extension)");
+  std::printf("train rows: %zu, query rows: %zu, runs: %zu, batch: %zu\n\n",
+              sizes.train_rows, sizes.query_rows, sizes.runs,
+              serve::ConfiguredBatchSize());
+
+  const Dataset train_data = MakeServingDataset(sizes.train_rows, 101);
+  const Dataset query_data = MakeServingDataset(sizes.query_rows, 202);
+  const DataView train(&train_data);
+  const DataView query(&query_data);
+  const size_t batch_size = serve::ConfiguredBatchSize();
+
+  bench::PrintRow({"model", "preds/s", "p50(us)", "p99(us)", "model-KiB"},
+                  12);
+  std::vector<std::string> lines;
+  for (const auto& learner : ServingRoster()) {
+    auto model = learner.make();
+    Status st = model->Fit(train);
+    if (!st.ok()) {
+      std::printf("%s: fit failed: %s\n", learner.label,
+                  st.ToString().c_str());
+      bench::ReportFailure();
+      continue;
+    }
+
+    // Serve what a server would serve: the loaded round-trip model.
+    std::ostringstream bytes(std::ios::binary);
+    st = io::SaveModel(*model, bytes);
+    if (!st.ok()) {
+      std::printf("%s: save failed: %s\n", learner.label,
+                  st.ToString().c_str());
+      bench::ReportFailure();
+      continue;
+    }
+    std::istringstream in(bytes.str(), std::ios::binary);
+    auto loaded = io::LoadModel(in);
+    if (!loaded.ok()) {
+      std::printf("%s: load failed: %s\n", learner.label,
+                  loaded.status().ToString().c_str());
+      bench::ReportFailure();
+      continue;
+    }
+
+    // Warm-up run (pool spin-up, cold caches), then the measured runs.
+    serve::LatencyStats warmup;
+    ScoreBatched(*loaded.value(), query, batch_size, warmup);
+    serve::LatencyStats stats;
+    for (size_t r = 0; r < sizes.runs; ++r) {
+      ScoreBatched(*loaded.value(), query, batch_size, stats);
+    }
+    const serve::StatsSummary s = stats.Summarize();
+
+    char row[256];
+    std::snprintf(row, sizeof(row), "%.0f", s.preds_per_sec);
+    bench::PrintRow({learner.label, row,
+                     std::to_string(static_cast<long>(s.p50_us)),
+                     std::to_string(static_cast<long>(s.p99_us)),
+                     std::to_string(bytes.str().size() / 1024)},
+                    12);
+
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "[serving] model=%s rows=%llu runs=%zu seconds=%.6f "
+                  "preds_per_sec=%.1f p50_us=%.1f p99_us=%.1f",
+                  learner.label,
+                  static_cast<unsigned long long>(s.rows), sizes.runs,
+                  s.model_seconds, s.preds_per_sec, s.p50_us, s.p99_us);
+    lines.push_back(line);
+  }
+
+  std::printf("\n");
+  for (const std::string& line : lines) std::printf("%s\n", line.c_str());
+  return bench::ExitCode();
+}

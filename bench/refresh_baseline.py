@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Regenerate the committed bench baseline (bench/BENCH_baseline.json).
+
+run_all.py embeds per-bench `speedup_vs_baseline` ratios against this
+file, so it must be refreshed — with THIS script, not by hand — whenever
+the bench roster or the report schema changes; run_all.py nulls the
+speedup columns when the baseline's schema_version is older than its
+own. The procedure is documented in docs/BENCH_SCHEMA.md.
+
+Usage (from the repo root, after building the bench targets):
+
+    cmake --build build --target all
+    bench/refresh_baseline.py --build-dir build
+
+The script pins HAMLET_THREADS (default 4, matching the historical
+baselines) so wall times stay comparable across hosts with different
+core counts, runs run_all.py WITHOUT a baseline (a refresh measures, it
+does not compare), validates the fresh report (expected schema version,
+zero failed benches), and only then replaces the output file.
+"""
+
+import argparse
+import glob
+import json
+import os
+import stat
+import subprocess
+import sys
+
+EXPECTED_SCHEMA_VERSION = 5
+
+
+def find_bench_binaries(build_dir: str) -> list:
+    """Bench executables under <build-dir>/bench, sorted by name."""
+    paths = []
+    for path in sorted(glob.glob(os.path.join(build_dir, "bench", "bench_*"))):
+        if not os.path.isfile(path):
+            continue
+        mode = os.stat(path).st_mode
+        if mode & stat.S_IXUSR and not path.endswith((".cc", ".o")):
+            paths.append(path)
+    return paths
+
+
+def main() -> int:
+    here = os.path.dirname(os.path.abspath(__file__))
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--build-dir", default="build",
+                    help="CMake build tree containing the bench binaries")
+    ap.add_argument("--mode", default="smoke",
+                    choices=["smoke", "quick", "full"],
+                    help="HAMLET_BENCH_MODE for the baseline run (the "
+                         "committed baseline uses smoke, like CI)")
+    ap.add_argument("--threads", default="4",
+                    help="HAMLET_THREADS to pin for the run")
+    ap.add_argument("--output",
+                    default=os.path.join(here, "BENCH_baseline.json"),
+                    help="baseline file to replace")
+    args = ap.parse_args()
+
+    benches = find_bench_binaries(args.build_dir)
+    if not benches:
+        sys.exit(f"[refresh_baseline] no bench binaries under "
+                 f"{args.build_dir}/bench; build them first "
+                 f"(cmake --build {args.build_dir})")
+    print(f"[refresh_baseline] {len(benches)} benches, mode={args.mode}, "
+          f"HAMLET_THREADS={args.threads}")
+
+    # Write to a temp path first: a failed run must not clobber the
+    # committed baseline.
+    tmp_output = args.output + ".tmp"
+    env = dict(os.environ, HAMLET_THREADS=args.threads)
+    proc = subprocess.run(
+        [sys.executable, os.path.join(here, "run_all.py"),
+         "--mode", args.mode, "--output", tmp_output,
+         "--bench"] + benches,
+        env=env)
+    if proc.returncode != 0:
+        sys.exit(f"[refresh_baseline] run_all.py failed "
+                 f"(exit {proc.returncode}); baseline left untouched")
+
+    with open(tmp_output) as f:
+        report = json.load(f)
+    schema = report.get("schema_version")
+    if schema != EXPECTED_SCHEMA_VERSION:
+        sys.exit(f"[refresh_baseline] fresh report has schema_version "
+                 f"{schema!r}, expected {EXPECTED_SCHEMA_VERSION}; "
+                 "update this script alongside run_all.py")
+    if report.get("num_failed"):
+        sys.exit(f"[refresh_baseline] {report['num_failed']} benches "
+                 "failed; refusing to commit a failing baseline")
+
+    os.replace(tmp_output, args.output)
+    print(f"[refresh_baseline] wrote {args.output}: "
+          f"{report['num_benches']} benches, "
+          f"{report['total_seconds']}s total")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -44,8 +44,58 @@ SVM_CACHE_RE = re.compile(
     r"fits=(\d+) iters=(\d+) shrinks=(\d+) unshrinks=(\d+)$")
 
 
+# Stable marker printed by bench_serving_throughput, one line per model
+# family served through a Save/Load round trip:
+#   [serving] model=dt-gini rows=6000 runs=3 seconds=0.000133 \
+#       preds_per_sec=44958974.9 p50_us=43.9 p99_us=47.5
+# The full schema is documented in docs/BENCH_SCHEMA.md.
+SERVING_RE = re.compile(
+    r"^\[serving\] model=([A-Za-z0-9._-]+) rows=(\d+) runs=(\d+) "
+    r"seconds=([0-9.]+) preds_per_sec=([0-9.]+) "
+    r"p50_us=([0-9.]+) p99_us=([0-9.]+)$")
+
+# Baselines from reports older than this schema lack the `serving` block
+# (and pre-v4 ones the smo/svm_cache semantics), so their wall times are
+# not comparable run-for-run; speedups against them are nulled out.
+MIN_BASELINE_SCHEMA = 5
+
+
 class SvmCacheParseError(ValueError):
     """A bench printed an [svm-cache] line this script cannot parse."""
+
+
+class ServingParseError(ValueError):
+    """A bench printed a [serving] line this script cannot parse."""
+
+
+def parse_serving(output: str):
+    """Extracts the per-family serving stats a bench printed, if any.
+
+    Returns a list of per-model dicts in print order, or None when the
+    bench printed no [serving] line at all. A line that STARTS with the
+    marker but does not match the schema raises ServingParseError, for
+    the same fail-loudly reason as parse_svm_cache.
+    """
+    models = []
+    for line in output.splitlines():
+        if not line.startswith("[serving]"):
+            continue
+        match = SERVING_RE.fullmatch(line.rstrip())
+        if match is None:
+            raise ServingParseError(
+                f"unparseable [serving] line: {line.rstrip()!r} "
+                f"(expected: {SERVING_RE.pattern!r}; "
+                "see docs/BENCH_SCHEMA.md)")
+        models.append({
+            "model": match.group(1),
+            "rows": int(match.group(2)),
+            "runs": int(match.group(3)),
+            "model_seconds": float(match.group(4)),
+            "preds_per_sec": float(match.group(5)),
+            "p50_us": float(match.group(6)),
+            "p99_us": float(match.group(7)),
+        })
+    return models or None
 
 
 def parse_svm_cache(output: str):
@@ -127,6 +177,13 @@ def run_one(path: str, mode: str, timeout_s: int) -> dict:
         if exit_code == 0:
             sys.exit(f"[run_all] error: bench {name}: {exc}")
         svm_cache, smo = None, None
+    # Same contract for [serving] lines (bench_serving_throughput).
+    try:
+        serving = parse_serving(output)
+    except ServingParseError as exc:
+        if exit_code == 0:
+            sys.exit(f"[run_all] error: bench {name}: {exc}")
+        serving = None
     return {
         "name": name,
         "figure": figure,
@@ -138,6 +195,9 @@ def run_one(path: str, mode: str, timeout_s: int) -> dict:
         # effectiveness and iteration counts across commits.
         "svm_cache": svm_cache,
         "smo": smo,
+        # Per-family serving throughput through a model-format round trip
+        # (bench_serving_throughput prints it; null for other benches).
+        "serving": serving,
         "stdout_tail": tail,
     }
 
@@ -145,7 +205,7 @@ def run_one(path: str, mode: str, timeout_s: int) -> dict:
 def main() -> int:
     ap = argparse.ArgumentParser(
         description=__doc__,
-        epilog="The output schema (currently version 4) is documented in "
+        epilog="The output schema (currently version 5) is documented in "
                "docs/BENCH_SCHEMA.md, alongside the HAMLET_BENCH_MODE / "
                "HAMLET_BENCH_BASELINE knobs.")
     ap.add_argument("--mode", default="smoke",
@@ -168,8 +228,21 @@ def main() -> int:
         try:
             with open(args.baseline) as f:
                 baseline = json.load(f)
-            baseline_seconds = {b["name"]: b["seconds"]
-                                for b in baseline.get("benches", [])}
+            # A baseline from an older schema is not comparable bench-for-
+            # bench (pre-v5 reports predate the serving bench and its
+            # run-loop changes): warn and null the speedup columns rather
+            # than report ratios against a different workload. Refresh the
+            # committed baseline with bench/refresh_baseline.py.
+            schema = baseline.get("schema_version")
+            if not isinstance(schema, int) or schema < MIN_BASELINE_SCHEMA:
+                print(f"[run_all] warning: baseline {args.baseline} has "
+                      f"schema_version {schema!r} < {MIN_BASELINE_SCHEMA}; "
+                      "speedups will be null (refresh it with "
+                      "bench/refresh_baseline.py)", file=sys.stderr)
+                args.baseline = None
+            else:
+                baseline_seconds = {b["name"]: b["seconds"]
+                                    for b in baseline.get("benches", [])}
         except (OSError, ValueError, KeyError, TypeError,
                 AttributeError) as exc:
             print(f"[run_all] warning: ignoring baseline {args.baseline}: "
@@ -203,11 +276,13 @@ def main() -> int:
         results.append(result)
 
     report = {
-        # v4: per-bench `smo` solver counters next to `svm_cache`, and a
-        # malformed [svm-cache] line aborts the run instead of recording
-        # nulls. speedup_vs_baseline may be null when either wall time is
-        # too small to compare. See docs/BENCH_SCHEMA.md.
-        "schema_version": 4,
+        # v5: per-bench `serving` block (per-family throughput/latency
+        # from bench_serving_throughput, parsed fail-fast like
+        # [svm-cache]), and baselines older than schema v5 are rejected
+        # with null speedups. v4 added `smo` next to `svm_cache`.
+        # speedup_vs_baseline may be null when either wall time is too
+        # small to compare. See docs/BENCH_SCHEMA.md.
+        "schema_version": 5,
         "suite": "hamlet-bench",
         "mode": args.mode,
         # Wall times are only comparable at equal parallelism, so pin the

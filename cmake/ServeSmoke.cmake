@@ -1,0 +1,70 @@
+# End-to-end serving-chain smoke: fit-and-save a demo model, generate
+# valid requests from its header domains, then serve them. Fails unless
+# every step exits 0, the serve step prints a parseable "[serve] ..."
+# stats line on stderr, and stdout is exactly one 0/1 prediction per
+# request. (ctest PASS_REGULAR_EXPRESSION alone ignores exit codes,
+# which would mask sanitizer aborts after the marker prints.)
+#
+# Usage: cmake -DSERVE_BIN=<hamlet_serve> -DWORK_DIR=<dir> \
+#              [-DFAMILY=<demo family>] -P ServeSmoke.cmake
+
+if(NOT DEFINED SERVE_BIN OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "ServeSmoke.cmake needs -DSERVE_BIN=... and -DWORK_DIR=...")
+endif()
+if(NOT DEFINED FAMILY)
+  set(FAMILY "dt")
+endif()
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(model "${WORK_DIR}/smoke_${FAMILY}.hmlm")
+set(requests "${WORK_DIR}/smoke_${FAMILY}_requests.txt")
+
+execute_process(
+  COMMAND "${SERVE_BIN}" --train-demo "${model}" "${FAMILY}"
+  RESULT_VARIABLE rc
+  ERROR_VARIABLE step_err
+)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "serve smoke: --train-demo failed (${rc}): ${step_err}")
+endif()
+
+execute_process(
+  COMMAND "${SERVE_BIN}" --emit-requests "${model}" "100"
+  RESULT_VARIABLE rc
+  OUTPUT_FILE "${requests}"
+  ERROR_VARIABLE step_err
+)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "serve smoke: --emit-requests failed (${rc}): ${step_err}")
+endif()
+
+execute_process(
+  COMMAND "${SERVE_BIN}" "${model}" "${requests}"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE serve_out
+  ERROR_VARIABLE serve_err
+)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "serve smoke: serving failed (${rc}): ${serve_err}")
+endif()
+
+# The machine-parseable summary contract (also parsed by humans and by
+# bench tooling): every key present, rows equal to the request count.
+if(NOT serve_err MATCHES "\\[serve\\] model=[^ ]+ rows=100 batches=[0-9]+ model_seconds=[0-9.]+ preds_per_sec=[0-9.]+ p50_us=[0-9.]+ p99_us=[0-9.]+")
+  message(FATAL_ERROR "serve smoke: stats line missing or malformed in stderr:\n${serve_err}")
+endif()
+
+# Predictions: exactly 100 lines, each a bare 0 or 1.
+string(REGEX REPLACE "\n$" "" trimmed "${serve_out}")
+string(REPLACE "\n" ";" pred_lines "${trimmed}")
+list(LENGTH pred_lines num_preds)
+if(NOT num_preds EQUAL 100)
+  message(FATAL_ERROR "serve smoke: expected 100 prediction lines, got ${num_preds}")
+endif()
+foreach(p IN LISTS pred_lines)
+  if(NOT p MATCHES "^[01]$")
+    message(FATAL_ERROR "serve smoke: bad prediction line '${p}'")
+  endif()
+endforeach()
+
+message("serve smoke (${FAMILY}): OK — ${serve_err}")

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <utility>
 
 namespace hamlet {
 
@@ -17,6 +18,37 @@ void CodeMatrixIndexAbort(size_t i, size_t j, size_t num_rows,
 }
 
 }  // namespace detail
+
+Result<CodeMatrix> CodeMatrix::FromParts(size_t num_features,
+                                         std::vector<uint32_t> codes,
+                                         std::vector<uint8_t> labels,
+                                         std::vector<uint32_t> domain_sizes) {
+  const size_t num_rows = labels.size();
+  if (domain_sizes.size() != num_features) {
+    return Status::InvalidArgument(
+        "CodeMatrix::FromParts: domain_sizes size does not match "
+        "num_features");
+  }
+  if (codes.size() != num_rows * num_features) {
+    return Status::InvalidArgument(
+        "CodeMatrix::FromParts: codes size does not match rows x features");
+  }
+  for (size_t i = 0; i < num_rows; ++i) {
+    for (size_t j = 0; j < num_features; ++j) {
+      if (codes[i * num_features + j] >= domain_sizes[j]) {
+        return Status::OutOfRange(
+            "CodeMatrix::FromParts: code exceeds its feature domain");
+      }
+    }
+  }
+  CodeMatrix m;
+  m.num_rows_ = num_rows;
+  m.num_features_ = num_features;
+  m.codes_ = std::move(codes);
+  m.labels_ = std::move(labels);
+  m.domain_sizes_ = std::move(domain_sizes);
+  return m;
+}
 
 CodeMatrix::CodeMatrix(const DataView& view, size_t max_rows) {
   num_rows_ = view.num_rows();

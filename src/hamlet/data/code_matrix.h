@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "hamlet/common/status.h"
 #include "hamlet/data/view.h"
 
 namespace hamlet {
@@ -42,6 +43,16 @@ class CodeMatrix {
   /// Materialises the first min(max_rows, view.num_rows()) rows; 0 keeps
   /// every row. Used by learners with a training-row cap (KernelSvm).
   CodeMatrix(const DataView& view, size_t max_rows);
+
+  /// Reassembles a matrix from its raw buffers — the deserialization
+  /// entry point (io::ModelReader). Row count derives from labels;
+  /// validates codes.size() == labels.size() * num_features,
+  /// domains.size() == num_features, and every code < its domain, so a
+  /// corrupt model file cannot produce an out-of-contract matrix.
+  static Result<CodeMatrix> FromParts(size_t num_features,
+                                      std::vector<uint32_t> codes,
+                                      std::vector<uint8_t> labels,
+                                      std::vector<uint32_t> domain_sizes);
 
   size_t num_rows() const { return num_rows_; }
   size_t num_features() const { return num_features_; }

@@ -14,6 +14,16 @@ OneHotMap::OneHotMap(const DataView& view) {
   dimension_ = offset;
 }
 
+OneHotMap::OneHotMap(const std::vector<uint32_t>& domain_sizes) {
+  offsets_.resize(domain_sizes.size());
+  uint32_t offset = 0;
+  for (size_t j = 0; j < domain_sizes.size(); ++j) {
+    offsets_[j] = offset;
+    offset += domain_sizes[j];
+  }
+  dimension_ = offset;
+}
+
 void OneHotMap::ActiveUnits(const DataView& view, size_t i,
                             std::vector<uint32_t>& out) const {
   assert(view.num_features() == offsets_.size());

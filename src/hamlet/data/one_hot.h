@@ -25,6 +25,13 @@ class OneHotMap {
   /// not scan rows).
   explicit OneHotMap(const DataView& view);
 
+  /// Builds the map from bare per-feature domain sizes — the same layout
+  /// a view with those domains would produce. Deserialized models
+  /// (io/serialize.cc) rebuild their maps from the model header's domain
+  /// metadata through this constructor, so the embedding is guaranteed
+  /// consistent with the header.
+  explicit OneHotMap(const std::vector<uint32_t>& domain_sizes);
+
   /// Total number of one-hot units.
   size_t dimension() const { return dimension_; }
   size_t num_features() const { return offsets_.size(); }

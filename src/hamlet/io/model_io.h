@@ -1,0 +1,107 @@
+// Endian-pinned binary primitives for the hamlet model format.
+//
+// ModelWriter/ModelReader are the byte layer under io::SaveModel /
+// io::LoadModel (serialize.h): fixed-width little-endian integers
+// (assembled byte-by-byte, so the on-disk format is identical on any
+// host), IEEE-754 doubles round-tripped through their bit pattern (the
+// loaded model predicts bit-identically to the saved one), and
+// length-prefixed vectors with plausibility caps so a corrupt length
+// field produces a Status instead of a giant allocation. All reader
+// failures — truncation, stream errors, implausible lengths — surface as
+// Status; nothing in this layer throws or aborts on malformed input.
+
+#ifndef HAMLET_IO_MODEL_IO_H_
+#define HAMLET_IO_MODEL_IO_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "hamlet/common/status.h"
+#include "hamlet/data/code_matrix.h"
+
+namespace hamlet {
+namespace io {
+
+/// First bytes of every hamlet model file ("HMLM" = HaMLet Model).
+inline constexpr char kModelMagic[4] = {'H', 'M', 'L', 'M'};
+/// Last bytes of every model file; catches silent truncation after an
+/// otherwise-complete body.
+inline constexpr char kModelFooter[4] = {'M', 'L', 'M', 'H'};
+/// Container format version. Bump on any layout change; LoadModel
+/// rejects versions it does not understand with an InvalidArgument
+/// Status naming both versions.
+inline constexpr uint32_t kModelFormatVersion = 1;
+
+/// Upper bound on any single serialized vector (element count). Far
+/// above any real model section, low enough that a corrupt length field
+/// fails cleanly instead of attempting a multi-GiB resize.
+inline constexpr uint64_t kMaxVectorElements = uint64_t{1} << 28;
+
+/// Little-endian serializer over an ostream. Write failures latch into
+/// status(); callers can write a whole section and check once.
+class ModelWriter {
+ public:
+  explicit ModelWriter(std::ostream& os) : os_(os) {}
+
+  void WriteU8(uint8_t v);
+  void WriteU32(uint32_t v);
+  void WriteU64(uint64_t v);
+  void WriteI32(int32_t v);
+  /// IEEE-754 bit pattern as a u64; exact round trip.
+  void WriteF64(double v);
+  /// u64 length + raw bytes.
+  void WriteString(const std::string& s);
+  /// u64 length + elements.
+  void WriteU8Vec(const std::vector<uint8_t>& v);
+  void WriteU32Vec(const std::vector<uint32_t>& v);
+  void WriteF64Vec(const std::vector<double>& v);
+  /// num_rows, num_features, codes, labels, domain sizes — the full
+  /// standalone snapshot (1-NN's train matrix, SVM support-vector slices).
+  void WriteCodeMatrix(const CodeMatrix& m);
+  /// Raw bytes, no length prefix (magic/footer markers).
+  void WriteRaw(const void* data, size_t n);
+
+  const Status& status() const { return status_; }
+
+ private:
+  void WriteBytes(const void* data, size_t n);
+
+  std::ostream& os_;
+  Status status_;
+};
+
+/// Little-endian deserializer over an istream. Every Read* returns
+/// Status; a short read reports OutOfRange ("truncated model stream").
+class ModelReader {
+ public:
+  explicit ModelReader(std::istream& is) : is_(is) {}
+
+  Status ReadU8(uint8_t* out);
+  Status ReadU32(uint32_t* out);
+  Status ReadU64(uint64_t* out);
+  Status ReadI32(int32_t* out);
+  Status ReadF64(double* out);
+  Status ReadString(std::string* out);
+  Status ReadU8Vec(std::vector<uint8_t>* out);
+  Status ReadU32Vec(std::vector<uint32_t>* out);
+  Status ReadF64Vec(std::vector<double>* out);
+  Status ReadCodeMatrix(CodeMatrix* out);
+
+  /// Reads `n` bytes and fails unless they equal `expected` (magic /
+  /// footer checks); `what` names the field in the error message.
+  Status ExpectBytes(const char* expected, size_t n, const char* what);
+
+ private:
+  Status ReadBytes(void* data, size_t n);
+  /// Reads a u64 length field and validates it against kMaxVectorElements.
+  Status ReadLength(uint64_t* out, const char* what);
+
+  std::istream& is_;
+};
+
+}  // namespace io
+}  // namespace hamlet
+
+#endif  // HAMLET_IO_MODEL_IO_H_

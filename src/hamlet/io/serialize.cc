@@ -1,0 +1,132 @@
+#include "hamlet/io/serialize.h"
+
+#include <fstream>
+#include <utility>
+
+#include "hamlet/io/model_io.h"
+#include "hamlet/ml/ann/mlp.h"
+#include "hamlet/ml/knn/one_nn.h"
+#include "hamlet/ml/linear/logistic_regression.h"
+#include "hamlet/ml/majority.h"
+#include "hamlet/ml/nb/naive_bayes.h"
+#include "hamlet/ml/svm/svm.h"
+#include "hamlet/ml/tree/decision_tree.h"
+
+namespace hamlet {
+namespace io {
+
+namespace {
+
+/// Narrows a loaded concrete learner into the Classifier-typed Result,
+/// restoring the header's domain metadata on the way.
+template <typename T>
+Result<std::unique_ptr<ml::Classifier>> Finish(
+    Result<std::unique_ptr<T>> loaded, std::vector<uint32_t> domains) {
+  if (!loaded.ok()) return loaded.status();
+  std::unique_ptr<ml::Classifier> model = std::move(loaded.value());
+  model->RestoreTrainDomains(std::move(domains));
+  return Result<std::unique_ptr<ml::Classifier>>(std::move(model));
+}
+
+}  // namespace
+
+Status SaveModel(const ml::Classifier& model, std::ostream& os) {
+  if (model.family() == ml::ModelFamily::kUnsupported) {
+    return Status::FailedPrecondition(
+        model.name() + ": model family has no serialized form");
+  }
+  if (model.train_domain_sizes().empty()) {
+    return Status::FailedPrecondition(model.name() +
+                                      ": Save before Fit (no train domains)");
+  }
+  ModelWriter writer(os);
+  writer.WriteRaw(kModelMagic, sizeof(kModelMagic));
+  writer.WriteU32(kModelFormatVersion);
+  writer.WriteU32(static_cast<uint32_t>(model.family()));
+  writer.WriteU32Vec(model.train_domain_sizes());
+  HAMLET_RETURN_IF_ERROR(writer.status());
+  HAMLET_RETURN_IF_ERROR(model.SaveBody(writer));
+  writer.WriteRaw(kModelFooter, sizeof(kModelFooter));
+  return writer.status();
+}
+
+Result<std::unique_ptr<ml::Classifier>> LoadModel(std::istream& is) {
+  ModelReader reader(is);
+  HAMLET_RETURN_IF_ERROR(
+      reader.ExpectBytes(kModelMagic, sizeof(kModelMagic), "magic"));
+  uint32_t version, family_tag;
+  HAMLET_RETURN_IF_ERROR(reader.ReadU32(&version));
+  if (version != kModelFormatVersion) {
+    return Status::InvalidArgument(
+        "unsupported model format version " + std::to_string(version) +
+        " (this build reads version " +
+        std::to_string(kModelFormatVersion) + ")");
+  }
+  HAMLET_RETURN_IF_ERROR(reader.ReadU32(&family_tag));
+  std::vector<uint32_t> domains;
+  HAMLET_RETURN_IF_ERROR(reader.ReadU32Vec(&domains));
+  if (domains.empty()) {
+    return Status::InvalidArgument(
+        "corrupt model: header has no feature domains");
+  }
+
+  Result<std::unique_ptr<ml::Classifier>> loaded =
+      Status::Internal("unreachable");
+  switch (static_cast<ml::ModelFamily>(family_tag)) {
+    case ml::ModelFamily::kDecisionTree:
+      loaded = Finish(ml::DecisionTree::LoadBody(reader, domains), domains);
+      break;
+    case ml::ModelFamily::kNaiveBayes:
+      loaded = Finish(ml::NaiveBayes::LoadBody(reader, domains), domains);
+      break;
+    case ml::ModelFamily::kLogRegL1:
+      loaded = Finish(ml::LogisticRegressionL1::LoadBody(reader, domains),
+                      domains);
+      break;
+    case ml::ModelFamily::kKernelSvm:
+      loaded = Finish(ml::KernelSvm::LoadBody(reader, domains), domains);
+      break;
+    case ml::ModelFamily::kOneNn:
+      loaded =
+          Finish(ml::OneNearestNeighbor::LoadBody(reader, domains), domains);
+      break;
+    case ml::ModelFamily::kMlp:
+      loaded = Finish(ml::Mlp::LoadBody(reader, domains), domains);
+      break;
+    case ml::ModelFamily::kMajority:
+      loaded =
+          Finish(ml::MajorityClassifier::LoadBody(reader, domains), domains);
+      break;
+    case ml::ModelFamily::kUnsupported:
+    default:
+      return Status::InvalidArgument(
+          "corrupt model: unknown model family tag " +
+          std::to_string(family_tag));
+  }
+  if (!loaded.ok()) return loaded.status();
+  HAMLET_RETURN_IF_ERROR(
+      reader.ExpectBytes(kModelFooter, sizeof(kModelFooter), "footer"));
+  return loaded;
+}
+
+Status SaveModelToFile(const ml::Classifier& model, const std::string& path) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) {
+    return Status::InvalidArgument("cannot open model file for writing: " +
+                                   path);
+  }
+  HAMLET_RETURN_IF_ERROR(SaveModel(model, os));
+  os.flush();
+  if (!os) return Status::Internal("write error on model file: " + path);
+  return Status::OK();
+}
+
+Result<std::unique_ptr<ml::Classifier>> LoadModelFromFile(
+    const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return Status::NotFound("cannot open model file: " + path);
+  return LoadModel(is);
+}
+
+}  // namespace io
+}  // namespace hamlet

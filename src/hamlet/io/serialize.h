@@ -1,0 +1,54 @@
+// Versioned container format for fitted hamlet models.
+//
+// Layout (all integers little-endian; see model_io.h for the byte layer):
+//
+//   magic   "HMLM"                       4 bytes
+//   version u32 (kModelFormatVersion)
+//   family  u32 (ml::ModelFamily tag)
+//   domains u32 num_features + u32[num_features] per-feature domain sizes
+//   body    learner-specific section (the learner's SaveBody/LoadBody pair)
+//   footer  "MLMH"                       4 bytes
+//
+// The header's domain metadata is the serving contract: a server decodes
+// and validates raw request tuples against it without ever seeing the
+// training Dataset. LoadModel re-attaches it to the deserialized model
+// via Classifier::RestoreTrainDomains.
+//
+// Every malformed-input path — bad magic/footer, unknown version or
+// family, truncated stream, body/header disagreement — returns a Status;
+// loading never crashes on corrupt bytes (tests/model_io_test.cc sweeps
+// truncations and bit flips).
+
+#ifndef HAMLET_IO_SERIALIZE_H_
+#define HAMLET_IO_SERIALIZE_H_
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "hamlet/common/status.h"
+#include "hamlet/ml/classifier.h"
+
+namespace hamlet {
+namespace io {
+
+/// Writes `model` in the container format. Fails with FailedPrecondition
+/// if the model is unfitted or its family has no serialized form
+/// (ModelFamily::kUnsupported, e.g. the backward-selection wrapper).
+Status SaveModel(const ml::Classifier& model, std::ostream& os);
+
+/// Reads a model written by SaveModel, dispatching on the family tag.
+/// The concrete learner is reconstructed behind the Classifier interface
+/// with its train-domain metadata restored, ready for PredictAll.
+Result<std::unique_ptr<ml::Classifier>> LoadModel(std::istream& is);
+
+/// File conveniences: binary-mode streams over `path` plus I/O error
+/// mapping (open failure -> NotFound / InvalidArgument).
+Status SaveModelToFile(const ml::Classifier& model, const std::string& path);
+Result<std::unique_ptr<ml::Classifier>> LoadModelFromFile(
+    const std::string& path);
+
+}  // namespace io
+}  // namespace hamlet
+
+#endif  // HAMLET_IO_SERIALIZE_H_

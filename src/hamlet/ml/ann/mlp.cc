@@ -2,9 +2,12 @@
 
 #include <cassert>
 #include <cmath>
+#include <memory>
 #include <numeric>
+#include <utility>
 
 #include "hamlet/common/rng.h"
+#include "hamlet/io/model_io.h"
 
 namespace hamlet {
 namespace ml {
@@ -251,7 +254,94 @@ Status Mlp::Fit(const DataView& train) {
       }
     }
   }
+  fitted_ = true;
+  RecordTrainDomains(train);
   return Status::OK();
+}
+
+Status Mlp::SaveBody(io::ModelWriter& writer) const {
+  if (!fitted_) return Status::FailedPrecondition("ann-mlp: Save before Fit");
+  writer.WriteU64(h1_);
+  writer.WriteU64(col_w_.size());
+  for (const std::vector<double>& col : col_w_) {
+    // Fixed-size columns (h1_ each); lengths are implied, not repeated.
+    for (double w : col) writer.WriteF64(w);
+  }
+  writer.WriteF64Vec(b1_);
+  writer.WriteU64(layers_.size());
+  for (const DenseLayer& layer : layers_) {
+    writer.WriteU64(layer.in);
+    writer.WriteU64(layer.out);
+    writer.WriteF64Vec(layer.w);
+    writer.WriteF64Vec(layer.b);
+  }
+  return writer.status();
+}
+
+Result<std::unique_ptr<Mlp>> Mlp::LoadBody(
+    io::ModelReader& reader, const std::vector<uint32_t>& domains) {
+  auto model = std::make_unique<Mlp>();
+  model->one_hot_ = OneHotMap(domains);
+  uint64_t h1, num_cols;
+  HAMLET_RETURN_IF_ERROR(reader.ReadU64(&h1));
+  HAMLET_RETURN_IF_ERROR(reader.ReadU64(&num_cols));
+  if (h1 == 0 || h1 > io::kMaxVectorElements) {
+    return Status::InvalidArgument("corrupt model: mlp hidden width");
+  }
+  if (num_cols != model->one_hot_.dimension()) {
+    return Status::InvalidArgument(
+        "corrupt model: mlp first-layer columns do not match the one-hot "
+        "dimension of the header domains");
+  }
+  model->h1_ = static_cast<size_t>(h1);
+  model->col_w_.assign(static_cast<size_t>(num_cols),
+                       std::vector<double>(model->h1_));
+  for (std::vector<double>& col : model->col_w_) {
+    for (double& w : col) HAMLET_RETURN_IF_ERROR(reader.ReadF64(&w));
+  }
+  HAMLET_RETURN_IF_ERROR(reader.ReadF64Vec(&model->b1_));
+  if (model->b1_.size() != model->h1_) {
+    return Status::InvalidArgument(
+        "corrupt model: mlp first-layer bias does not match hidden width");
+  }
+  uint64_t num_layers;
+  HAMLET_RETURN_IF_ERROR(reader.ReadU64(&num_layers));
+  if (num_layers == 0 || num_layers > 64) {
+    return Status::InvalidArgument("corrupt model: mlp layer count");
+  }
+  size_t prev = model->h1_;
+  for (uint64_t l = 0; l < num_layers; ++l) {
+    DenseLayer layer;
+    uint64_t in, out;
+    HAMLET_RETURN_IF_ERROR(reader.ReadU64(&in));
+    HAMLET_RETURN_IF_ERROR(reader.ReadU64(&out));
+    HAMLET_RETURN_IF_ERROR(reader.ReadF64Vec(&layer.w));
+    HAMLET_RETURN_IF_ERROR(reader.ReadF64Vec(&layer.b));
+    layer.in = static_cast<size_t>(in);
+    layer.out = static_cast<size_t>(out);
+    // Forward indexes w[o * in + k] for o < out, k < in, and chains each
+    // layer's input to the previous output — enforce the full shape.
+    if (layer.in != prev || layer.out == 0 ||
+        layer.w.size() != layer.in * layer.out ||
+        layer.b.size() != layer.out) {
+      return Status::InvalidArgument(
+          "corrupt model: mlp dense-layer shape mismatch");
+    }
+    prev = layer.out;
+    model->layers_.push_back(std::move(layer));
+  }
+  if (prev != 1) {
+    return Status::InvalidArgument(
+        "corrupt model: mlp output layer is not a single unit");
+  }
+  // Restore the architecture knob so config introspection matches; all
+  // Adam state belongs to training and stays empty until a refit.
+  model->config_.hidden_sizes.assign(1, model->h1_);
+  for (size_t l = 0; l + 1 < model->layers_.size(); ++l) {
+    model->config_.hidden_sizes.push_back(model->layers_[l].out);
+  }
+  model->fitted_ = true;
+  return Result<std::unique_ptr<Mlp>>(std::move(model));
 }
 
 double Mlp::PredictProbability(const DataView& view, size_t i) const {

@@ -10,6 +10,7 @@
 #define HAMLET_ML_ANN_MLP_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -43,6 +44,13 @@ class Mlp : public Classifier {
   uint8_t Predict(const DataView& view, size_t i) const override;
   std::string name() const override { return "ann-mlp"; }
 
+  ModelFamily family() const override { return ModelFamily::kMlp; }
+  /// Serializes the inference state only (first-layer columns, biases,
+  /// dense layers); Adam moments are training state and zero-fill on load.
+  Status SaveBody(io::ModelWriter& writer) const override;
+  static Result<std::unique_ptr<Mlp>> LoadBody(
+      io::ModelReader& reader, const std::vector<uint32_t>& domains);
+
   /// P(y = 1 | x) for row i of `view`.
   double PredictProbability(const DataView& view, size_t i) const;
 
@@ -62,6 +70,7 @@ class Mlp : public Classifier {
 
   MlpConfig config_;
   OneHotMap one_hot_;
+  bool fitted_ = false;
   // First layer stored column-major over one-hot units for sparse access:
   // col_w_[u] is the h1-sized column for unit u.
   std::vector<std::vector<double>> col_w_;

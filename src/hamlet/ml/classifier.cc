@@ -1,0 +1,41 @@
+#include "hamlet/ml/classifier.h"
+
+namespace hamlet {
+namespace ml {
+
+const char* ModelFamilyName(ModelFamily family) {
+  switch (family) {
+    case ModelFamily::kUnsupported:
+      return "unsupported";
+    case ModelFamily::kDecisionTree:
+      return "decision-tree";
+    case ModelFamily::kNaiveBayes:
+      return "naive-bayes";
+    case ModelFamily::kLogRegL1:
+      return "logreg-l1";
+    case ModelFamily::kKernelSvm:
+      return "kernel-svm";
+    case ModelFamily::kOneNn:
+      return "1nn";
+    case ModelFamily::kMlp:
+      return "mlp";
+    case ModelFamily::kMajority:
+      return "majority";
+  }
+  return "?";
+}
+
+Status Classifier::SaveBody(io::ModelWriter& /*writer*/) const {
+  return Status::FailedPrecondition(
+      name() + ": model family has no serialized form");
+}
+
+void Classifier::RecordTrainDomains(const DataView& train) {
+  train_domain_sizes_.resize(train.num_features());
+  for (size_t j = 0; j < train.num_features(); ++j) {
+    train_domain_sizes_[j] = train.domain_size(j);
+  }
+}
+
+}  // namespace ml
+}  // namespace hamlet

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "hamlet/common/parallel.h"
@@ -19,7 +20,30 @@
 #include "hamlet/data/view.h"
 
 namespace hamlet {
+
+namespace io {
+class ModelWriter;
+class ModelReader;
+}  // namespace io
+
 namespace ml {
+
+/// Stable on-disk tag of a serializable learner family. The numeric
+/// values are part of the model file format (io/serialize.cc keys its
+/// Load dispatch on them): never renumber, only append.
+enum class ModelFamily : uint32_t {
+  kUnsupported = 0,   ///< wrapper/meta models with no on-disk format
+  kDecisionTree = 1,
+  kNaiveBayes = 2,
+  kLogRegL1 = 3,
+  kKernelSvm = 4,
+  kOneNn = 5,
+  kMlp = 6,
+  kMajority = 7,
+};
+
+/// Human-readable name for a ModelFamily ("decision-tree", ...).
+const char* ModelFamilyName(ModelFamily family);
 
 /// Runs body(i) for every row index in [0, n): serially below a threshold
 /// where the pool's dispatch overhead dominates per-row prediction cost,
@@ -84,6 +108,44 @@ class Classifier {
                       [&](size_t i) { out[i] = Predict(view, i); });
     return out;
   }
+
+  // --- Serialization (io/serialize.h wraps these in the versioned
+  // container format; see docs/ARCHITECTURE.md, "The model format") ---
+
+  /// On-disk family tag. kUnsupported (the default) means the model has
+  /// no serialized form and SaveBody fails with FailedPrecondition;
+  /// every concrete learner family overrides both.
+  virtual ModelFamily family() const { return ModelFamily::kUnsupported; }
+
+  /// Writes the fitted learner's body section (everything Predict needs,
+  /// nothing the container header already carries). Called by
+  /// io::SaveModel after the header; must only be called on a fitted
+  /// model. The matching deserializer is the learner's static
+  /// LoadBody(io::ModelReader&, const std::vector<uint32_t>& domains),
+  /// which validates the body against the header's domain metadata.
+  virtual Status SaveBody(io::ModelWriter& writer) const;
+
+  /// Per-feature domain sizes of the training view, captured by every
+  /// Fit via RecordTrainDomains. Serialized in the model header so a
+  /// server can decode and validate raw request tuples without the
+  /// training Dataset; empty before the first Fit.
+  const std::vector<uint32_t>& train_domain_sizes() const {
+    return train_domain_sizes_;
+  }
+
+  /// Restores the Fit-time domain metadata on a deserialized model
+  /// (io::LoadModel reads it from the container header).
+  void RestoreTrainDomains(std::vector<uint32_t> domain_sizes) {
+    train_domain_sizes_ = std::move(domain_sizes);
+  }
+
+ protected:
+  /// Snapshots `train`'s per-feature domain sizes; every learner's Fit
+  /// calls this before returning OK.
+  void RecordTrainDomains(const DataView& train);
+
+ private:
+  std::vector<uint32_t> train_domain_sizes_;
 };
 
 }  // namespace ml

@@ -1,6 +1,10 @@
 #include "hamlet/ml/knn/one_nn.h"
 
 #include <cassert>
+#include <memory>
+#include <utility>
+
+#include "hamlet/io/model_io.h"
 
 namespace hamlet {
 namespace ml {
@@ -10,7 +14,38 @@ Status OneNearestNeighbor::Fit(const DataView& train) {
     return Status::InvalidArgument("empty training view");
   }
   train_ = CodeMatrix(train);
+  RecordTrainDomains(train);
   return Status::OK();
+}
+
+Status OneNearestNeighbor::SaveBody(io::ModelWriter& writer) const {
+  if (train_.num_rows() == 0) {
+    return Status::FailedPrecondition("1nn: Save before Fit");
+  }
+  writer.WriteCodeMatrix(train_);
+  return writer.status();
+}
+
+Result<std::unique_ptr<OneNearestNeighbor>> OneNearestNeighbor::LoadBody(
+    io::ModelReader& reader, const std::vector<uint32_t>& domains) {
+  auto model = std::make_unique<OneNearestNeighbor>();
+  HAMLET_RETURN_IF_ERROR(reader.ReadCodeMatrix(&model->train_));
+  if (model->train_.num_features() != domains.size()) {
+    return Status::InvalidArgument(
+        "corrupt model: 1nn matrix feature count disagrees with the header");
+  }
+  if (model->train_.num_rows() == 0) {
+    return Status::InvalidArgument("corrupt model: 1nn matrix has no rows");
+  }
+  for (size_t j = 0; j < domains.size(); ++j) {
+    // The matrix carries its own domain sizes; the header is the serving
+    // contract, so the two must agree for request validation to hold.
+    if (model->train_.domain_size(j) != domains[j]) {
+      return Status::InvalidArgument(
+          "corrupt model: 1nn matrix domains disagree with the header");
+    }
+  }
+  return Result<std::unique_ptr<OneNearestNeighbor>>(std::move(model));
 }
 
 size_t OneNearestNeighbor::NearestIndexOfCodes(const uint32_t* query) const {

@@ -10,6 +10,7 @@
 #define HAMLET_ML_KNN_ONE_NN_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -30,6 +31,13 @@ class OneNearestNeighbor : public Classifier {
   /// scans contiguous query rows; bit-identical to per-row Predict.
   std::vector<uint8_t> PredictAll(const DataView& view) const override;
   std::string name() const override { return "1nn"; }
+
+  ModelFamily family() const override { return ModelFamily::kOneNn; }
+  /// 1-NN's "model" is its training matrix; the whole CodeMatrix is the
+  /// serialized body.
+  Status SaveBody(io::ModelWriter& writer) const override;
+  static Result<std::unique_ptr<OneNearestNeighbor>> LoadBody(
+      io::ModelReader& reader, const std::vector<uint32_t>& domains);
 
   /// Index (into the training view's rows) of the nearest neighbour of
   /// row i of `view`; exposed for the §5 analysis of FK-driven matching.

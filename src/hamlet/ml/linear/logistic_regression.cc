@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <memory>
+#include <utility>
 
+#include "hamlet/io/model_io.h"
 #include "hamlet/ml/metrics.h"
 
 namespace hamlet {
@@ -212,7 +215,37 @@ Status LogisticRegressionL1::Fit(const DataView& train) {
   weights_ = std::move(best_w);
   intercept_ = best_b;
   selected_lambda_ = best_lambda;
+  fitted_ = true;
+  RecordTrainDomains(train);
   return Status::OK();
+}
+
+Status LogisticRegressionL1::SaveBody(io::ModelWriter& writer) const {
+  if (!fitted_) {
+    return Status::FailedPrecondition("logreg-l1: Save before Fit");
+  }
+  writer.WriteF64Vec(weights_);
+  writer.WriteF64(intercept_);
+  writer.WriteF64(selected_lambda_);
+  return writer.status();
+}
+
+Result<std::unique_ptr<LogisticRegressionL1>> LogisticRegressionL1::LoadBody(
+    io::ModelReader& reader, const std::vector<uint32_t>& domains) {
+  auto model = std::make_unique<LogisticRegressionL1>();
+  HAMLET_RETURN_IF_ERROR(reader.ReadF64Vec(&model->weights_));
+  HAMLET_RETURN_IF_ERROR(reader.ReadF64(&model->intercept_));
+  HAMLET_RETURN_IF_ERROR(reader.ReadF64(&model->selected_lambda_));
+  model->one_hot_ = OneHotMap(domains);
+  // MarginOfCodes guards each unit index, but a mismatched weight vector
+  // would silently drop units rather than score them — reject outright.
+  if (model->weights_.size() != model->one_hot_.dimension()) {
+    return Status::InvalidArgument(
+        "corrupt model: logreg weight vector does not match the one-hot "
+        "dimension of the header domains");
+  }
+  model->fitted_ = true;
+  return Result<std::unique_ptr<LogisticRegressionL1>>(std::move(model));
 }
 
 double LogisticRegressionL1::PredictProbability(const DataView& view,

@@ -11,6 +11,7 @@
 #define HAMLET_ML_LINEAR_LOGISTIC_REGRESSION_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -45,6 +46,13 @@ class LogisticRegressionL1 : public Classifier {
   std::vector<uint8_t> PredictAll(const DataView& view) const override;
   std::string name() const override { return "logreg-l1"; }
 
+  ModelFamily family() const override { return ModelFamily::kLogRegL1; }
+  Status SaveBody(io::ModelWriter& writer) const override;
+  /// Rebuilds the one-hot map from the header's domain metadata, so the
+  /// restored embedding matches any view with the training domains.
+  static Result<std::unique_ptr<LogisticRegressionL1>> LoadBody(
+      io::ModelReader& reader, const std::vector<uint32_t>& domains);
+
   /// P(y=1|x) for row i of `view`.
   double PredictProbability(const DataView& view, size_t i) const;
 
@@ -60,6 +68,7 @@ class LogisticRegressionL1 : public Classifier {
 
   LogisticRegressionConfig config_;
   OneHotMap one_hot_;
+  bool fitted_ = false;
   std::vector<double> weights_;
   double intercept_ = 0.0;
   double selected_lambda_ = 0.0;

@@ -77,6 +77,10 @@ Status BackwardSelectionClassifier::Fit(const DataView& train) {
   selected_ = std::move(current);
   model_ = std::move(best_model);
   val_accuracy_ = best_acc;
+  // Recorded for interface uniformity; the wrapper itself has no
+  // serialized form (SaveBody stays the unsupported default) because its
+  // inner model scores a feature *subset*, not raw header-domain tuples.
+  RecordTrainDomains(train);
   return Status::OK();
 }
 

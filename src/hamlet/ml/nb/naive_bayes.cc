@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "hamlet/io/model_io.h"
+
 namespace hamlet {
 namespace ml {
 
@@ -67,7 +69,50 @@ Status NaiveBayes::Fit(const DataView& train) {
                    denom_neg);
     }
   }
+  fitted_ = true;
+  RecordTrainDomains(train);
   return Status::OK();
+}
+
+Status NaiveBayes::SaveBody(io::ModelWriter& writer) const {
+  if (!fitted_) return Status::FailedPrecondition("nb: Save before Fit");
+  writer.WriteF64(config_.pseudocount);
+  writer.WriteU64(d_);
+  writer.WriteF64(log_prior_[0]);
+  writer.WriteF64(log_prior_[1]);
+  for (const std::vector<double>& ll : log_likelihood_) {
+    writer.WriteF64Vec(ll);
+  }
+  return writer.status();
+}
+
+Result<std::unique_ptr<NaiveBayes>> NaiveBayes::LoadBody(
+    io::ModelReader& reader, const std::vector<uint32_t>& domains) {
+  NaiveBayesConfig config;
+  uint64_t d;
+  HAMLET_RETURN_IF_ERROR(reader.ReadF64(&config.pseudocount));
+  HAMLET_RETURN_IF_ERROR(reader.ReadU64(&d));
+  if (d != domains.size()) {
+    return Status::InvalidArgument(
+        "corrupt model: nb feature count disagrees with the header");
+  }
+  auto model = std::make_unique<NaiveBayes>(config);
+  model->d_ = static_cast<size_t>(d);
+  HAMLET_RETURN_IF_ERROR(reader.ReadF64(&model->log_prior_[0]));
+  HAMLET_RETURN_IF_ERROR(reader.ReadF64(&model->log_prior_[1]));
+  model->log_likelihood_.assign(model->d_, {});
+  for (size_t j = 0; j < model->d_; ++j) {
+    std::vector<double>& ll = model->log_likelihood_[j];
+    HAMLET_RETURN_IF_ERROR(reader.ReadF64Vec(&ll));
+    // LogOddsOfCodes reads the (code*2, code*2+1) pair for any in-domain
+    // code, so the table must cover the header's full domain.
+    if (ll.size() != static_cast<size_t>(domains[j]) * 2) {
+      return Status::InvalidArgument(
+          "corrupt model: nb likelihood table does not cover its domain");
+    }
+  }
+  model->fitted_ = true;
+  return Result<std::unique_ptr<NaiveBayes>>(std::move(model));
 }
 
 double NaiveBayes::LogOddsOfCodes(const uint32_t* codes) const {

@@ -9,6 +9,7 @@
 #define HAMLET_ML_NB_NAIVE_BAYES_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -42,8 +43,15 @@ class NaiveBayes : public Classifier {
   /// Same, for an already-materialised row of num_features codes.
   double LogOddsOfCodes(const uint32_t* codes) const;
 
+  ModelFamily family() const override { return ModelFamily::kNaiveBayes; }
+  /// Serializes the count tables (as log likelihoods) + priors.
+  Status SaveBody(io::ModelWriter& writer) const override;
+  static Result<std::unique_ptr<NaiveBayes>> LoadBody(
+      io::ModelReader& reader, const std::vector<uint32_t>& domains);
+
  private:
   NaiveBayesConfig config_;
+  bool fitted_ = false;
   size_t d_ = 0;
   double log_prior_[2] = {0.0, 0.0};
   // log_likelihood_[j][code][y]; flattened per feature as code*2 + y.

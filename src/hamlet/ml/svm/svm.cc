@@ -1,8 +1,10 @@
 #include "hamlet/ml/svm/svm.h"
 
 #include <cassert>
+#include <memory>
 #include <utility>
 
+#include "hamlet/io/model_io.h"
 #include "hamlet/ml/svm/kernel_cache.h"
 
 namespace hamlet {
@@ -40,6 +42,8 @@ Status KernelSvm::Fit(const DataView& train) {
     last_iterations_ = 0;
     last_shrink_events_ = 0;
     last_unshrink_events_ = 0;
+    fitted_ = true;
+    RecordTrainDomains(train);
     return Status::OK();
   }
   is_constant_ = false;
@@ -80,7 +84,75 @@ Status KernelSvm::Fit(const DataView& train) {
                       rows.begin() + static_cast<long>((i + 1) * d_));
     }
   }
+  fitted_ = true;
+  RecordTrainDomains(train);
   return Status::OK();
+}
+
+Status KernelSvm::SaveBody(io::ModelWriter& writer) const {
+  if (!fitted_) {
+    return Status::FailedPrecondition("svm: Save before Fit");
+  }
+  writer.WriteU32(static_cast<uint32_t>(config_.kernel.type));
+  writer.WriteF64(config_.kernel.gamma);
+  writer.WriteI32(config_.kernel.degree);
+  writer.WriteU64(d_);
+  writer.WriteU8(is_constant_ ? 1 : 0);
+  writer.WriteU8(constant_prediction_);
+  writer.WriteU8(converged_ ? 1 : 0);
+  writer.WriteF64(bias_);
+  writer.WriteF64Vec(sv_coeff_);
+  writer.WriteU32Vec(sv_rows_);
+  return writer.status();
+}
+
+Result<std::unique_ptr<KernelSvm>> KernelSvm::LoadBody(
+    io::ModelReader& reader, const std::vector<uint32_t>& domains) {
+  SvmConfig config;
+  uint32_t kernel_type;
+  HAMLET_RETURN_IF_ERROR(reader.ReadU32(&kernel_type));
+  if (kernel_type > static_cast<uint32_t>(KernelType::kRbf)) {
+    return Status::InvalidArgument("corrupt model: unknown svm kernel type");
+  }
+  config.kernel.type = static_cast<KernelType>(kernel_type);
+  HAMLET_RETURN_IF_ERROR(reader.ReadF64(&config.kernel.gamma));
+  HAMLET_RETURN_IF_ERROR(reader.ReadI32(&config.kernel.degree));
+  auto model = std::make_unique<KernelSvm>(config);
+  uint64_t d;
+  uint8_t is_constant, converged;
+  HAMLET_RETURN_IF_ERROR(reader.ReadU64(&d));
+  if (d != domains.size()) {
+    return Status::InvalidArgument(
+        "corrupt model: svm feature count disagrees with the header");
+  }
+  model->d_ = static_cast<size_t>(d);
+  HAMLET_RETURN_IF_ERROR(reader.ReadU8(&is_constant));
+  HAMLET_RETURN_IF_ERROR(reader.ReadU8(&model->constant_prediction_));
+  HAMLET_RETURN_IF_ERROR(reader.ReadU8(&converged));
+  model->is_constant_ = is_constant != 0;
+  model->converged_ = converged != 0;
+  HAMLET_RETURN_IF_ERROR(reader.ReadF64(&model->bias_));
+  HAMLET_RETURN_IF_ERROR(reader.ReadF64Vec(&model->sv_coeff_));
+  HAMLET_RETURN_IF_ERROR(reader.ReadU32Vec(&model->sv_rows_));
+  if (model->sv_rows_.size() != model->sv_coeff_.size() * model->d_) {
+    return Status::InvalidArgument(
+        "corrupt model: svm support-vector rows do not match coefficients");
+  }
+  for (size_t s = 0; s < model->sv_coeff_.size(); ++s) {
+    const uint32_t* row = model->sv_rows_.data() + s * model->d_;
+    for (size_t j = 0; j < model->d_; ++j) {
+      if (row[j] >= domains[j]) {
+        return Status::OutOfRange(
+            "corrupt model: svm support-vector code outside its domain");
+      }
+    }
+  }
+  if (model->constant_prediction_ > 1) {
+    return Status::InvalidArgument(
+        "corrupt model: svm constant prediction not a binary label");
+  }
+  model->fitted_ = true;
+  return Result<std::unique_ptr<KernelSvm>>(std::move(model));
 }
 
 double KernelSvm::DecisionValueOfCodes(const uint32_t* query) const {

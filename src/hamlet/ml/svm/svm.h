@@ -8,6 +8,7 @@
 #define HAMLET_ML_SVM_SVM_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -57,6 +58,14 @@ class KernelSvm : public Classifier {
   std::vector<uint8_t> PredictAll(const DataView& view) const override;
   std::string name() const override;
 
+  ModelFamily family() const override { return ModelFamily::kKernelSvm; }
+  /// Serializes the kernel config plus the fitted decision function
+  /// (support-vector codes, alpha*y coefficients, bias); solver-only
+  /// knobs (C, tolerance, cache budget) are not part of the model.
+  Status SaveBody(io::ModelWriter& writer) const override;
+  static Result<std::unique_ptr<KernelSvm>> LoadBody(
+      io::ModelReader& reader, const std::vector<uint32_t>& domains);
+
   /// Signed decision value f(x) for row i of `view`.
   double DecisionValue(const DataView& view, size_t i) const;
 
@@ -81,6 +90,7 @@ class KernelSvm : public Classifier {
 
  private:
   SvmConfig config_;
+  bool fitted_ = false;
   size_t d_ = 0;
   std::vector<uint32_t> sv_rows_;    // support vectors, row-major codes
   std::vector<double> sv_coeff_;     // alpha_i * y_i per support vector

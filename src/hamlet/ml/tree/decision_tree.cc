@@ -4,6 +4,8 @@
 #include <cassert>
 #include <numeric>
 
+#include "hamlet/io/model_io.h"
+
 namespace hamlet {
 namespace ml {
 
@@ -61,7 +63,105 @@ Status DecisionTree::Fit(const DataView& train) {
 
   scratch_count_.clear();
   scratch_pos_.clear();
+  RecordTrainDomains(train);
   return Status::OK();
+}
+
+Status DecisionTree::SaveBody(io::ModelWriter& writer) const {
+  if (root_ < 0) return Status::FailedPrecondition("dt: Save before Fit");
+  writer.WriteU32(static_cast<uint32_t>(config_.criterion));
+  writer.WriteU64(config_.minsplit);
+  writer.WriteF64(config_.cp);
+  writer.WriteU64(config_.max_depth);
+  writer.WriteU32(static_cast<uint32_t>(config_.unseen_policy));
+  writer.WriteU64(num_features_);
+  writer.WriteI32(root_);
+  writer.WriteU64(nodes_.size());
+  for (const TreeNode& node : nodes_) {
+    writer.WriteI32(node.feature);
+    writer.WriteU8Vec(node.goes_left);
+    writer.WriteU8Vec(node.code_seen);
+    writer.WriteI32(node.left);
+    writer.WriteI32(node.right);
+    writer.WriteI32(node.majority_child);
+    writer.WriteU8(node.prediction);
+    writer.WriteU32(node.count);
+    writer.WriteU32(node.pos_count);
+    writer.WriteU32(node.depth);
+  }
+  return writer.status();
+}
+
+Result<std::unique_ptr<DecisionTree>> DecisionTree::LoadBody(
+    io::ModelReader& reader, const std::vector<uint32_t>& domains) {
+  const size_t num_features = domains.size();
+  DecisionTreeConfig config;
+  uint32_t criterion, policy;
+  uint64_t minsplit, max_depth, d, num_nodes;
+  double cp;
+  int32_t root;
+  HAMLET_RETURN_IF_ERROR(reader.ReadU32(&criterion));
+  HAMLET_RETURN_IF_ERROR(reader.ReadU64(&minsplit));
+  HAMLET_RETURN_IF_ERROR(reader.ReadF64(&cp));
+  HAMLET_RETURN_IF_ERROR(reader.ReadU64(&max_depth));
+  HAMLET_RETURN_IF_ERROR(reader.ReadU32(&policy));
+  HAMLET_RETURN_IF_ERROR(reader.ReadU64(&d));
+  HAMLET_RETURN_IF_ERROR(reader.ReadI32(&root));
+  HAMLET_RETURN_IF_ERROR(reader.ReadU64(&num_nodes));
+  if (criterion > static_cast<uint32_t>(SplitCriterion::kGainRatio)) {
+    return Status::InvalidArgument("corrupt model: unknown tree criterion");
+  }
+  if (policy > static_cast<uint32_t>(UnseenPolicy::kMajorityBranch)) {
+    return Status::InvalidArgument(
+        "corrupt model: unknown tree unseen-code policy");
+  }
+  if (d != num_features) {
+    return Status::InvalidArgument(
+        "corrupt model: tree feature count disagrees with the header");
+  }
+  if (num_nodes == 0 || num_nodes > io::kMaxVectorElements ||
+      root < 0 || static_cast<uint64_t>(root) >= num_nodes) {
+    return Status::InvalidArgument("corrupt model: bad tree root/node count");
+  }
+  config.criterion = static_cast<SplitCriterion>(criterion);
+  config.minsplit = static_cast<size_t>(minsplit);
+  config.cp = cp;
+  config.max_depth = static_cast<size_t>(max_depth);
+  config.unseen_policy = static_cast<UnseenPolicy>(policy);
+
+  auto model = std::make_unique<DecisionTree>(config);
+  model->num_features_ = static_cast<size_t>(d);
+  model->root_ = root;
+  model->nodes_.resize(static_cast<size_t>(num_nodes));
+  const auto valid_child = [&](int c) {
+    return c >= 0 && static_cast<uint64_t>(c) < num_nodes;
+  };
+  for (TreeNode& node : model->nodes_) {
+    HAMLET_RETURN_IF_ERROR(reader.ReadI32(&node.feature));
+    HAMLET_RETURN_IF_ERROR(reader.ReadU8Vec(&node.goes_left));
+    HAMLET_RETURN_IF_ERROR(reader.ReadU8Vec(&node.code_seen));
+    HAMLET_RETURN_IF_ERROR(reader.ReadI32(&node.left));
+    HAMLET_RETURN_IF_ERROR(reader.ReadI32(&node.right));
+    HAMLET_RETURN_IF_ERROR(reader.ReadI32(&node.majority_child));
+    HAMLET_RETURN_IF_ERROR(reader.ReadU8(&node.prediction));
+    HAMLET_RETURN_IF_ERROR(reader.ReadU32(&node.count));
+    HAMLET_RETURN_IF_ERROR(reader.ReadU32(&node.pos_count));
+    HAMLET_RETURN_IF_ERROR(reader.ReadU32(&node.depth));
+    // Internal nodes must route to in-range children through in-range
+    // features; WalkCodes trusts these invariants.
+    if (node.feature >= 0) {
+      if (static_cast<uint64_t>(node.feature) >= d ||
+          !valid_child(node.left) || !valid_child(node.right) ||
+          !valid_child(node.majority_child) ||
+          node.goes_left.size() != node.code_seen.size() ||
+          node.goes_left.size() >
+              domains[static_cast<size_t>(node.feature)]) {
+        return Status::InvalidArgument(
+            "corrupt model: tree node routing out of range");
+      }
+    }
+  }
+  return Result<std::unique_ptr<DecisionTree>>(std::move(model));
 }
 
 int DecisionTree::BuildNode(const CodeMatrix& train,

@@ -21,6 +21,7 @@
 #define HAMLET_ML_TREE_DECISION_TREE_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -79,6 +80,15 @@ class DecisionTree : public Classifier {
 
   /// Status-returning prediction honouring UnseenPolicy::kError.
   Result<uint8_t> TryPredict(const DataView& view, size_t i) const;
+
+  ModelFamily family() const override { return ModelFamily::kDecisionTree; }
+  /// Serializes config + node arcs/leaves (format: docs/ARCHITECTURE.md).
+  Status SaveBody(io::ModelWriter& writer) const override;
+  /// Rebuilds a fitted tree from `reader`; `domains` is the per-feature
+  /// domain metadata from the container header, used to validate the
+  /// node routing tables.
+  static Result<std::unique_ptr<DecisionTree>> LoadBody(
+      io::ModelReader& reader, const std::vector<uint32_t>& domains);
 
   const DecisionTreeConfig& config() const { return config_; }
   const std::vector<TreeNode>& nodes() const { return nodes_; }

@@ -1,0 +1,227 @@
+// hamlet_serve: batched prediction service over a saved hamlet model.
+//
+//   hamlet_serve <model-file> [requests-file]
+//       Load the model, serve request lines from the file (or stdin),
+//       stream one prediction per line to stdout. A machine-parseable
+//       "[serve] ..." summary goes to stderr when done; while stderr is
+//       a terminal, a LiveOps-style in-place throughput line updates
+//       during the run.
+//
+//   hamlet_serve --train-demo <model-file> [family]
+//       Fit a small deterministic synthetic model of the given family
+//       (dt, nb, logreg, svm-linear, svm-rbf, 1nn, mlp, majority;
+//       default dt) and save it — a fixture generator for smoke tests
+//       and quick experiments.
+//
+//   hamlet_serve --emit-requests <model-file> <n> [seed]
+//       Print n random request lines valid for the model's domains.
+//
+// Exit status: 0 on success, 1 on any error (message on stderr).
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "hamlet/common/rng.h"
+#include "hamlet/common/status.h"
+#include "hamlet/data/dataset.h"
+#include "hamlet/data/view.h"
+#include "hamlet/io/serialize.h"
+#include "hamlet/ml/ann/mlp.h"
+#include "hamlet/ml/classifier.h"
+#include "hamlet/ml/knn/one_nn.h"
+#include "hamlet/ml/linear/logistic_regression.h"
+#include "hamlet/ml/majority.h"
+#include "hamlet/ml/nb/naive_bayes.h"
+#include "hamlet/ml/svm/svm.h"
+#include "hamlet/ml/tree/decision_tree.h"
+#include "hamlet/serve/server.h"
+
+namespace {
+
+using hamlet::DataView;
+using hamlet::Dataset;
+using hamlet::FeatureRole;
+using hamlet::FeatureSpec;
+using hamlet::Result;
+using hamlet::Rng;
+using hamlet::Status;
+
+int Fail(const Status& st) {
+  std::fprintf(stderr, "hamlet_serve: %s\n", st.ToString().c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: hamlet_serve <model-file> [requests-file]\n"
+      "       hamlet_serve --train-demo <model-file> [family]\n"
+      "       hamlet_serve --emit-requests <model-file> <n> [seed]\n"
+      "families: dt nb logreg svm-linear svm-rbf 1nn mlp majority\n");
+  return 1;
+}
+
+/// Small deterministic labeled dataset: 4 categorical features, label a
+/// noisy threshold rule over two of them. Enough structure that every
+/// demo family fits a non-trivial model, small enough that --train-demo
+/// finishes instantly (the MLP included).
+Dataset MakeDemoDataset(uint64_t seed) {
+  const std::vector<uint32_t> domains = {8, 6, 5, 7};
+  std::vector<FeatureSpec> specs(domains.size());
+  for (size_t j = 0; j < domains.size(); ++j) {
+    specs[j].name = "f" + std::to_string(j);
+    specs[j].domain_size = domains[j];
+    specs[j].role = FeatureRole::kHome;
+  }
+  Dataset data(std::move(specs));
+  Rng rng(seed);
+  std::vector<uint32_t> row(domains.size());
+  const size_t n = 400;
+  data.Reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < domains.size(); ++j) {
+      row[j] = static_cast<uint32_t>(rng.UniformInt(domains[j]));
+    }
+    const bool signal = row[0] >= 4 || (row[1] <= 1 && row[2] >= 3);
+    const bool flip = rng.Bernoulli(0.1);
+    data.AppendRowUnchecked(row, (signal != flip) ? 1 : 0);
+  }
+  return data;
+}
+
+Result<std::unique_ptr<hamlet::ml::Classifier>> MakeDemoLearner(
+    const std::string& family) {
+  using namespace hamlet::ml;  // NOLINT: local alias for the roster
+  if (family == "dt") {
+    return std::unique_ptr<Classifier>(std::make_unique<DecisionTree>());
+  }
+  if (family == "nb") {
+    return std::unique_ptr<Classifier>(std::make_unique<NaiveBayes>());
+  }
+  if (family == "logreg") {
+    return std::unique_ptr<Classifier>(
+        std::make_unique<LogisticRegressionL1>());
+  }
+  if (family == "svm-linear" || family == "svm-rbf") {
+    SvmConfig config;
+    config.kernel.type =
+        family == "svm-rbf" ? KernelType::kRbf : KernelType::kLinear;
+    if (family == "svm-rbf") config.kernel.gamma = 0.25;
+    return std::unique_ptr<Classifier>(std::make_unique<KernelSvm>(config));
+  }
+  if (family == "1nn") {
+    return std::unique_ptr<Classifier>(std::make_unique<OneNearestNeighbor>());
+  }
+  if (family == "mlp") {
+    MlpConfig config;
+    config.hidden_sizes = {16, 8};
+    config.epochs = 4;
+    return std::unique_ptr<Classifier>(std::make_unique<Mlp>(config));
+  }
+  if (family == "majority") {
+    return std::unique_ptr<Classifier>(std::make_unique<MajorityClassifier>());
+  }
+  return Status::InvalidArgument("unknown demo family \"" + family + "\"");
+}
+
+int TrainDemo(const std::string& path, const std::string& family) {
+  Result<std::unique_ptr<hamlet::ml::Classifier>> learner =
+      MakeDemoLearner(family);
+  if (!learner.ok()) return Fail(learner.status());
+  const Dataset data = MakeDemoDataset(7);
+  const DataView train(&data);
+  Status st = learner.value()->Fit(train);
+  if (!st.ok()) return Fail(st);
+  st = hamlet::io::SaveModelToFile(*learner.value(), path);
+  if (!st.ok()) return Fail(st);
+  std::fprintf(stderr, "hamlet_serve: saved %s model to %s\n",
+               learner.value()->name().c_str(), path.c_str());
+  return 0;
+}
+
+int EmitRequests(const std::string& path, const std::string& count_arg,
+                 const std::string& seed_arg) {
+  char* end = nullptr;
+  const long n = std::strtol(count_arg.c_str(), &end, 10);
+  if (end == count_arg.c_str() || *end != '\0' || n < 1) {
+    return Fail(Status::InvalidArgument("bad request count \"" + count_arg +
+                                        "\""));
+  }
+  const uint64_t seed =
+      seed_arg.empty() ? 1234u : std::strtoull(seed_arg.c_str(), nullptr, 10);
+  Result<std::unique_ptr<hamlet::ml::Classifier>> model =
+      hamlet::io::LoadModelFromFile(path);
+  if (!model.ok()) return Fail(model.status());
+  const std::vector<uint32_t>& domains =
+      model.value()->train_domain_sizes();
+  Rng rng(seed);
+  for (long i = 0; i < n; ++i) {
+    for (size_t j = 0; j < domains.size(); ++j) {
+      if (j > 0) std::fputc(' ', stdout);
+      std::fprintf(stdout, "%llu",
+                   static_cast<unsigned long long>(
+                       rng.UniformInt(domains[j])));
+    }
+    std::fputc('\n', stdout);
+  }
+  return 0;
+}
+
+int Serve(const std::string& model_path, const std::string& requests_path) {
+  Result<std::unique_ptr<hamlet::ml::Classifier>> model =
+      hamlet::io::LoadModelFromFile(model_path);
+  if (!model.ok()) return Fail(model.status());
+
+  std::ifstream file;
+  if (!requests_path.empty()) {
+    file.open(requests_path);
+    if (!file) {
+      return Fail(Status::NotFound("cannot open requests file: " +
+                                   requests_path));
+    }
+  }
+  std::istream& in = requests_path.empty() ? std::cin : file;
+
+  hamlet::serve::ServeConfig config;
+  config.live_stats = isatty(2) != 0;
+  Result<hamlet::serve::StatsSummary> summary =
+      hamlet::serve::ServeStream(*model.value(), in, std::cout, std::cerr,
+                                 config);
+  if (!summary.ok()) return Fail(summary.status());
+
+  const hamlet::serve::StatsSummary& s = summary.value();
+  // Machine-parseable run summary; keep key=value, space-separated
+  // (bench/run_all.py-style contract, asserted by the serve smoke test).
+  std::fprintf(stderr,
+               "[serve] model=%s rows=%llu batches=%llu model_seconds=%.6f "
+               "preds_per_sec=%.1f p50_us=%.1f p99_us=%.1f\n",
+               model.value()->name().c_str(),
+               static_cast<unsigned long long>(s.rows),
+               static_cast<unsigned long long>(s.batches), s.model_seconds,
+               s.preds_per_sec, s.p50_us, s.p99_us);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) return Usage();
+  if (args[0] == "--train-demo") {
+    if (args.size() < 2 || args.size() > 3) return Usage();
+    return TrainDemo(args[1], args.size() == 3 ? args[2] : "dt");
+  }
+  if (args[0] == "--emit-requests") {
+    if (args.size() < 3 || args.size() > 4) return Usage();
+    return EmitRequests(args[1], args[2], args.size() == 4 ? args[3] : "");
+  }
+  if (args.size() > 2) return Usage();
+  return Serve(args[0], args.size() == 2 ? args[1] : "");
+}

@@ -1,0 +1,158 @@
+#include "hamlet/serve/server.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "hamlet/common/logging.h"
+#include "hamlet/data/dataset.h"
+#include "hamlet/data/view.h"
+
+namespace hamlet {
+namespace serve {
+
+namespace {
+
+constexpr size_t kDefaultBatchSize = 2048;
+
+/// Builds the request-decoding Dataset skeleton from the model header's
+/// domain metadata: one kHome feature per training feature, same domain
+/// sizes, so a view over appended request rows is learner-compatible
+/// with the training view by construction.
+Dataset MakeRequestDataset(const std::vector<uint32_t>& domains) {
+  std::vector<FeatureSpec> specs(domains.size());
+  for (size_t j = 0; j < domains.size(); ++j) {
+    specs[j].name = "f" + std::to_string(j);
+    specs[j].domain_size = domains[j];
+    specs[j].role = FeatureRole::kHome;
+  }
+  return Dataset(std::move(specs));
+}
+
+/// Parses one request line into `codes`, validating field count and
+/// domain membership. `line_no` is 1-based for error messages.
+Status ParseRequestLine(const std::string& line, size_t line_no,
+                        const std::vector<uint32_t>& domains,
+                        std::vector<uint32_t>& codes) {
+  codes.clear();
+  const char* p = line.c_str();
+  while (true) {
+    while (*p == ' ' || *p == '\t' || *p == ',') ++p;
+    if (*p == '\0') break;
+    if (*p < '0' || *p > '9') {
+      return Status::InvalidArgument(
+          "request line " + std::to_string(line_no) +
+          ": expected an unsigned integer code, got \"" + line + "\"");
+    }
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(p, &end, 10);
+    const size_t j = codes.size();
+    if (j >= domains.size()) {
+      return Status::InvalidArgument(
+          "request line " + std::to_string(line_no) + ": more than " +
+          std::to_string(domains.size()) + " fields");
+    }
+    if (v >= domains[j]) {
+      // Out-of-domain codes would index past learner tables (NB
+      // likelihoods, logreg weights); reject at the door.
+      return Status::OutOfRange(
+          "request line " + std::to_string(line_no) + ": code " +
+          std::to_string(v) + " outside feature " + std::to_string(j) +
+          "'s domain [0, " + std::to_string(domains[j]) + ")");
+    }
+    codes.push_back(static_cast<uint32_t>(v));
+    p = end;
+  }
+  if (codes.size() != domains.size()) {
+    return Status::InvalidArgument(
+        "request line " + std::to_string(line_no) + ": got " +
+        std::to_string(codes.size()) + " fields, model expects " +
+        std::to_string(domains.size()));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+size_t ConfiguredBatchSize() {
+  const char* env = std::getenv("HAMLET_SERVE_BATCH");
+  if (env == nullptr || *env == '\0') return kDefaultBatchSize;
+  char* end = nullptr;
+  const long parsed = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0' || parsed < 1 || parsed > 10000000) {
+    if (FirstOccurrence(std::string("serve_batch:") + env)) {
+      std::fprintf(stderr,
+                   "hamlet: invalid HAMLET_SERVE_BATCH=\"%s\" (want an "
+                   "integer in [1, 1e7]); using the default (%zu)\n",
+                   env, kDefaultBatchSize);
+    }
+    return kDefaultBatchSize;
+  }
+  return static_cast<size_t>(parsed);
+}
+
+Result<StatsSummary> ServeStream(const ml::Classifier& model,
+                                 std::istream& in, std::ostream& out,
+                                 std::ostream& err,
+                                 const ServeConfig& config) {
+  const std::vector<uint32_t>& domains = model.train_domain_sizes();
+  if (domains.empty()) {
+    return Status::FailedPrecondition(
+        "model carries no train-domain metadata; load it via io::LoadModel "
+        "or Fit it before serving");
+  }
+  const size_t batch_size =
+      config.batch_size > 0 ? config.batch_size : ConfiguredBatchSize();
+
+  LatencyStats stats;
+  LiveTicker ticker(err, config.live_stats);
+
+  Dataset batch = MakeRequestDataset(domains);
+  batch.Reserve(batch_size);
+  size_t batch_rows = 0;
+
+  auto flush_batch = [&]() -> Status {
+    if (batch_rows == 0) return Status::OK();
+    const DataView view(&batch);
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::vector<uint8_t> preds = model.PredictAll(view);
+    const std::chrono::duration<double> dt =
+        std::chrono::steady_clock::now() - t0;
+    stats.RecordBatch(preds.size(), dt.count());
+    for (uint8_t p : preds) out << static_cast<int>(p) << '\n';
+    if (!out) return Status::Internal("serve: write error on output stream");
+    ticker.MaybeTick(stats);
+    // Rebuild the skeleton rather than clearing rows: Dataset has no row
+    // erase, and the per-batch allocation is trivial next to PredictAll.
+    batch = MakeRequestDataset(domains);
+    batch.Reserve(batch_size);
+    batch_rows = 0;
+    return Status::OK();
+  };
+
+  std::string line;
+  std::vector<uint32_t> codes;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    // Skip blanks and comments without emitting a prediction line.
+    const size_t first = line.find_first_not_of(" \t");
+    if (first == std::string::npos || line[first] == '#') continue;
+    HAMLET_RETURN_IF_ERROR(ParseRequestLine(line, line_no, domains, codes));
+    HAMLET_RETURN_IF_ERROR(batch.AppendRow(codes, 0));
+    if (++batch_rows >= batch_size) HAMLET_RETURN_IF_ERROR(flush_batch());
+  }
+  HAMLET_RETURN_IF_ERROR(flush_batch());
+  ticker.Finish();
+  out.flush();
+  return Result<StatsSummary>(stats.Summarize());
+}
+
+}  // namespace serve
+}  // namespace hamlet

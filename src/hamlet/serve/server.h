@@ -1,0 +1,57 @@
+// Batched prediction serving over a loaded model.
+//
+// ServeStream reads prediction requests (one tuple of categorical codes
+// per line), validates each code against the model's train-domain
+// metadata (restored from the model file header — the server never sees
+// the training Dataset), batches rows, and scores each batch through
+// the model's dense PredictAll so prediction fans out across the
+// HAMLET_THREADS pool exactly like the experiment paths. Predictions
+// stream to `out` one per line in request order; per-batch model time
+// feeds the LatencyStats summary the caller prints.
+//
+// Request line format: num_features() unsigned integers separated by
+// spaces, tabs or commas. Blank lines and lines starting with '#' are
+// skipped (and produce no output line). Any malformed or out-of-domain
+// line aborts the run with a Status naming the line number — a serving
+// process must never feed a learner codes outside the domains its
+// tables were sized for.
+
+#ifndef HAMLET_SERVE_SERVER_H_
+#define HAMLET_SERVE_SERVER_H_
+
+#include <cstddef>
+#include <iosfwd>
+
+#include "hamlet/common/status.h"
+#include "hamlet/ml/classifier.h"
+#include "hamlet/serve/stats.h"
+
+namespace hamlet {
+namespace serve {
+
+/// Batch size requested via HAMLET_SERVE_BATCH: a positive integer, or
+/// unset for the default (2048). Invalid values (non-numeric, < 1,
+/// > 1e7) warn on stderr once per distinct value and fall back to the
+/// default.
+size_t ConfiguredBatchSize();
+
+struct ServeConfig {
+  /// Rows per PredictAll call; 0 = ConfiguredBatchSize().
+  size_t batch_size = 0;
+  /// Paint the in-place LiveTicker line on stderr while serving.
+  bool live_stats = false;
+};
+
+/// Serves every request line of `in` against `model`, writing one
+/// prediction per line to `out`. Returns the latency summary on success.
+/// The model must carry train-domain metadata (any model loaded through
+/// io::LoadModel does; a freshly Fit model does too).
+Result<StatsSummary> ServeStream(const ml::Classifier& model,
+                                 std::istream& in, std::ostream& out,
+                                 std::ostream& err,
+                                 const ServeConfig& config = {});
+
+}  // namespace serve
+}  // namespace hamlet
+
+#endif  // HAMLET_SERVE_SERVER_H_

@@ -1,0 +1,79 @@
+#include "hamlet/serve/stats.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <string>
+
+namespace hamlet {
+namespace serve {
+
+namespace {
+
+/// Nearest-rank percentile of an ascending-sorted sample vector.
+double PercentileSorted(const std::vector<double>& sorted, double pct) {
+  if (sorted.empty()) return 0.0;
+  const double rank = pct / 100.0 * static_cast<double>(sorted.size());
+  size_t idx = static_cast<size_t>(rank);
+  if (static_cast<double>(idx) < rank) ++idx;  // ceil
+  if (idx > 0) --idx;                          // 1-based rank -> 0-based
+  if (idx >= sorted.size()) idx = sorted.size() - 1;
+  return sorted[idx];
+}
+
+}  // namespace
+
+void LatencyStats::RecordBatch(size_t rows, double seconds) {
+  rows_ += rows;
+  model_seconds_ += seconds;
+  batch_us_.push_back(seconds * 1e6);
+}
+
+StatsSummary LatencyStats::Summarize() const {
+  StatsSummary s;
+  s.rows = rows_;
+  s.batches = batch_us_.size();
+  s.model_seconds = model_seconds_;
+  if (model_seconds_ > 0.0) {
+    s.preds_per_sec = static_cast<double>(rows_) / model_seconds_;
+  }
+  std::vector<double> sorted = batch_us_;
+  std::sort(sorted.begin(), sorted.end());
+  s.p50_us = PercentileSorted(sorted, 50.0);
+  s.p99_us = PercentileSorted(sorted, 99.0);
+  return s;
+}
+
+LiveTicker::LiveTicker(std::ostream& os, bool enabled,
+                       std::chrono::milliseconds interval)
+    : os_(os),
+      enabled_(enabled),
+      interval_(interval),
+      last_(std::chrono::steady_clock::now()) {}
+
+void LiveTicker::MaybeTick(const LatencyStats& stats) {
+  if (!enabled_) return;
+  const auto now = std::chrono::steady_clock::now();
+  if (painted_ && now - last_ < interval_) return;
+  last_ = now;
+  painted_ = true;
+  const StatsSummary s = stats.Summarize();
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "\rserving: rows=%llu batches=%llu ops/s=%.0f p50=%.0fus "
+                "p99=%.0fus   ",
+                static_cast<unsigned long long>(s.rows),
+                static_cast<unsigned long long>(s.batches), s.preds_per_sec,
+                s.p50_us, s.p99_us);
+  os_ << line << std::flush;
+}
+
+void LiveTicker::Finish() {
+  if (!enabled_ || !painted_) return;
+  // Blank the widest line we may have painted, then return the cursor.
+  os_ << '\r' << std::string(100, ' ') << '\r' << std::flush;
+  painted_ = false;
+}
+
+}  // namespace serve
+}  // namespace hamlet

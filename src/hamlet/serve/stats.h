@@ -1,0 +1,76 @@
+// Serving-side latency/throughput accounting.
+//
+// LatencyStats collects one sample per served batch (rows + seconds of
+// model time) and summarises them as sustained predictions/sec plus
+// nearest-rank p50/p99 batch latencies. LiveTicker paints a single
+// in-place progress line (elbencho "LiveOps" style: carriage return, no
+// newline) at a bounded repaint rate so interactive runs see throughput
+// without the stats polluting piped output — the caller only attaches it
+// to a terminal stderr.
+
+#ifndef HAMLET_SERVE_STATS_H_
+#define HAMLET_SERVE_STATS_H_
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+namespace hamlet {
+namespace serve {
+
+/// Point-in-time summary of a serving run.
+struct StatsSummary {
+  uint64_t rows = 0;
+  uint64_t batches = 0;
+  double model_seconds = 0.0;  ///< time inside PredictAll, summed
+  double preds_per_sec = 0.0;  ///< rows / model_seconds (0 when no time)
+  double p50_us = 0.0;         ///< nearest-rank median batch latency
+  double p99_us = 0.0;         ///< nearest-rank 99th percentile
+};
+
+/// Accumulates per-batch samples; cheap to record, summarises on demand.
+class LatencyStats {
+ public:
+  void RecordBatch(size_t rows, double seconds);
+
+  uint64_t rows() const { return rows_; }
+  uint64_t batches() const { return batch_us_.size(); }
+
+  /// Sorts a copy of the samples; call at ticks and at the end, not per
+  /// batch.
+  StatsSummary Summarize() const;
+
+ private:
+  uint64_t rows_ = 0;
+  double model_seconds_ = 0.0;
+  std::vector<double> batch_us_;
+};
+
+/// Repaints "rows=... ops/s=... p50=... p99=..." in place on `os` at most
+/// every `interval`; Finish() erases the line so real output never shares
+/// it. No-op entirely when constructed disabled.
+class LiveTicker {
+ public:
+  LiveTicker(std::ostream& os, bool enabled,
+             std::chrono::milliseconds interval = std::chrono::milliseconds(
+                 500));
+
+  /// Called after each batch; repaints when the interval elapsed.
+  void MaybeTick(const LatencyStats& stats);
+  /// Clears the in-place line (call before printing final summaries).
+  void Finish();
+
+ private:
+  std::ostream& os_;
+  bool enabled_;
+  std::chrono::milliseconds interval_;
+  std::chrono::steady_clock::time_point last_;
+  bool painted_ = false;
+};
+
+}  // namespace serve
+}  // namespace hamlet
+
+#endif  // HAMLET_SERVE_STATS_H_

@@ -1,0 +1,252 @@
+// Model serialization round-trip and malformed-input tests.
+//
+// The contract under test (docs/ARCHITECTURE.md, "The model format"):
+// Fit -> SaveModel -> LoadModel -> PredictAll is bit-identical to the
+// in-memory model at any thread count; the on-disk bytes are
+// little-endian regardless of host; and every corrupt, truncated or
+// version-skewed input fails with a Status — never a crash.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "hamlet/io/model_io.h"
+#include "hamlet/io/serialize.h"
+#include "hamlet/ml/majority.h"
+#include "hamlet/ml/nb/backward_selection.h"
+#include "parity_util.h"
+
+namespace hamlet {
+namespace {
+
+using test::MakeParityDataset;
+using test::MakeParityViews;
+using test::ParityLearner;
+using test::ParityLearners;
+using test::ScopedThreads;
+
+/// The serialization roster: every ParityLearner family plus the
+/// constant-majority fallback (all seven ModelFamily tags).
+std::vector<ParityLearner> SerializableLearners() {
+  std::vector<ParityLearner> learners = ParityLearners();
+  learners.push_back({"majority", [] {
+                        return std::make_unique<ml::MajorityClassifier>();
+                      }});
+  return learners;
+}
+
+/// Serializes `model` to an in-memory byte string, asserting success.
+std::string SaveToString(const ml::Classifier& model) {
+  std::ostringstream os(std::ios::binary);
+  const Status st = io::SaveModel(model, os);
+  EXPECT_TRUE(st.ok()) << model.name() << ": " << st.ToString();
+  return os.str();
+}
+
+Result<std::unique_ptr<ml::Classifier>> LoadFromString(
+    const std::string& bytes) {
+  std::istringstream is(bytes, std::ios::binary);
+  return io::LoadModel(is);
+}
+
+TEST(ModelIoTest, RoundTripIsBitIdenticalForEveryFamily) {
+  const Dataset data = MakeParityDataset(240, {7, 4, 9, 3, 5}, 17);
+  const auto views = MakeParityViews(data, 18);
+
+  for (const ParityLearner& learner : SerializableLearners()) {
+    SCOPED_TRACE(learner.name);
+    auto model = learner.make();
+    ASSERT_TRUE(model->Fit(views.train).ok());
+    ASSERT_NE(model->family(), ml::ModelFamily::kUnsupported);
+    ASSERT_FALSE(model->train_domain_sizes().empty());
+
+    const std::string bytes = SaveToString(*model);
+    auto loaded = LoadFromString(bytes);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+    EXPECT_EQ(loaded.value()->name(), model->name());
+    EXPECT_EQ(loaded.value()->family(), model->family());
+    EXPECT_EQ(loaded.value()->train_domain_sizes(),
+              model->train_domain_sizes());
+
+    // Bit-identical batch predictions, serial and pooled.
+    for (const char* threads : {"1", "4"}) {
+      ScopedThreads scoped(threads);
+      const std::vector<uint8_t> expected = model->PredictAll(views.test);
+      const std::vector<uint8_t> got =
+          loaded.value()->PredictAll(views.test);
+      EXPECT_EQ(got, expected) << "threads=" << threads;
+    }
+
+    // Saving the loaded model reproduces the byte stream exactly: the
+    // format has no nondeterministic or host-dependent fields.
+    EXPECT_EQ(SaveToString(*loaded.value()), bytes);
+  }
+}
+
+TEST(ModelIoTest, FileRoundTrip) {
+  const Dataset data = MakeParityDataset(120, {5, 6, 4}, 3);
+  const auto views = MakeParityViews(data, 4);
+  ml::MajorityClassifier model;
+  ASSERT_TRUE(model.Fit(views.train).ok());
+
+  const std::string path =
+      testing::TempDir() + "/hamlet_model_io_test.hmlm";
+  ASSERT_TRUE(io::SaveModelToFile(model, path).ok());
+  auto loaded = io::LoadModelFromFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value()->PredictAll(views.test),
+            model.PredictAll(views.test));
+  std::remove(path.c_str());
+
+  const auto missing = io::LoadModelFromFile(path + ".does-not-exist");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ModelIoTest, HeaderBytesArePinnedLittleEndian) {
+  const Dataset data = MakeParityDataset(60, {3, 2}, 9);
+  ml::MajorityClassifier model;
+  ASSERT_TRUE(model.Fit(DataView(&data)).ok());
+  const std::string bytes = SaveToString(model);
+
+  // magic, version=1, family=kMajority(7), domains=[3,2] — byte-exact,
+  // so a model written on any host loads on any other.
+  const unsigned char expected_header[] = {
+      'H', 'M', 'L', 'M',       // magic
+      1,   0,   0,   0,         // version u32 LE
+      7,   0,   0,   0,         // family u32 LE
+      2,   0,   0,   0, 0, 0, 0, 0,  // domain-count u64 LE
+      3,   0,   0,   0,         // domain[0]
+      2,   0,   0,   0,         // domain[1]
+  };
+  ASSERT_GE(bytes.size(), sizeof(expected_header) + 4);
+  for (size_t i = 0; i < sizeof(expected_header); ++i) {
+    EXPECT_EQ(static_cast<unsigned char>(bytes[i]), expected_header[i])
+        << "header byte " << i;
+  }
+  EXPECT_EQ(bytes.substr(bytes.size() - 4), "MLMH");
+}
+
+TEST(ModelIoTest, SaveBeforeFitFails) {
+  for (const ParityLearner& learner : SerializableLearners()) {
+    SCOPED_TRACE(learner.name);
+    auto model = learner.make();
+    std::ostringstream os(std::ios::binary);
+    const Status st = io::SaveModel(*model, os);
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+  }
+}
+
+TEST(ModelIoTest, UnsupportedWrapperFamilyIsRejected) {
+  const Dataset data = MakeParityDataset(90, {4, 3, 5}, 21);
+  const auto views = MakeParityViews(data, 22);
+  ml::BackwardSelectionClassifier model(
+      [] { return std::make_unique<ml::NaiveBayes>(); }, views.test);
+  ASSERT_TRUE(model.Fit(views.train).ok());
+  EXPECT_EQ(model.family(), ml::ModelFamily::kUnsupported);
+  std::ostringstream os(std::ios::binary);
+  const Status st = io::SaveModel(model, os);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ModelIoTest, VersionMismatchNamesBothVersions) {
+  const Dataset data = MakeParityDataset(60, {3, 2}, 9);
+  ml::MajorityClassifier model;
+  ASSERT_TRUE(model.Fit(DataView(&data)).ok());
+  std::string bytes = SaveToString(model);
+  bytes[4] = 99;  // version field, low byte
+  const auto loaded = LoadFromString(bytes);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("99"), std::string::npos);
+  EXPECT_NE(loaded.status().message().find("version"), std::string::npos);
+}
+
+TEST(ModelIoTest, CorruptMagicFamilyAndFooterAreRejected) {
+  const Dataset data = MakeParityDataset(60, {3, 2}, 9);
+  ml::MajorityClassifier model;
+  ASSERT_TRUE(model.Fit(DataView(&data)).ok());
+  const std::string bytes = SaveToString(model);
+
+  {
+    std::string bad = bytes;
+    bad[0] = 'X';
+    const auto loaded = LoadFromString(bad);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  }
+  {
+    std::string bad = bytes;
+    bad[8] = static_cast<char>(200);  // family tag: unknown value
+    const auto loaded = LoadFromString(bad);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_NE(loaded.status().message().find("family"), std::string::npos);
+  }
+  {
+    std::string bad = bytes;
+    bad[bad.size() - 1] = 'X';  // footer
+    const auto loaded = LoadFromString(bad);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(ModelIoTest, EveryTruncationFailsWithStatusForEveryFamily) {
+  // Small dataset keeps the byte streams short enough to sweep every
+  // prefix for every family (the MLP model is the largest at ~50 KiB
+  // with the tiny test architecture, so stride the long middle).
+  const Dataset data = MakeParityDataset(90, {4, 3, 5}, 31);
+  const auto views = MakeParityViews(data, 32);
+  for (const ParityLearner& learner : SerializableLearners()) {
+    SCOPED_TRACE(learner.name);
+    auto model = learner.make();
+    ASSERT_TRUE(model->Fit(views.train).ok());
+    const std::string bytes = SaveToString(*model);
+
+    for (size_t len = 0; len < bytes.size();
+         len += (len > 256 && bytes.size() - len > 512) ? 37 : 1) {
+      const auto loaded = LoadFromString(bytes.substr(0, len));
+      ASSERT_FALSE(loaded.ok()) << "prefix length " << len;
+    }
+  }
+}
+
+TEST(ModelIoTest, ImplausibleVectorLengthIsRejectedWithoutAllocating) {
+  const Dataset data = MakeParityDataset(60, {3, 2}, 9);
+  ml::MajorityClassifier model;
+  ASSERT_TRUE(model.Fit(DataView(&data)).ok());
+  std::string bytes = SaveToString(model);
+  // Blow up the domain-count u64 (offset 12) far past kMaxVectorElements;
+  // the reader must refuse before resizing.
+  for (size_t i = 12; i < 20; ++i) bytes[i] = static_cast<char>(0xff);
+  const auto loaded = LoadFromString(bytes);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("implausible"),
+            std::string::npos);
+}
+
+TEST(ModelIoTest, BodyHeaderDisagreementIsRejected) {
+  // A naive-bayes body whose likelihood tables cover domains {3,2} must
+  // not load under a header claiming wider domains: the load would
+  // otherwise index past the tables at predict time.
+  const Dataset data = MakeParityDataset(60, {3, 2}, 9);
+  ml::NaiveBayes model;
+  ASSERT_TRUE(model.Fit(DataView(&data)).ok());
+  std::string bytes = SaveToString(model);
+  ASSERT_EQ(bytes[20], 3);  // domain[0] low byte
+  bytes[20] = 5;
+  const auto loaded = LoadFromString(bytes);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace hamlet

@@ -1,0 +1,184 @@
+// Serving-layer tests: request parsing/validation, batching, stats, and
+// parity between served predictions and the in-process PredictAll path
+// (including through a Save/Load round trip, which is how hamlet_serve
+// actually gets its model).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "hamlet/io/serialize.h"
+#include "hamlet/ml/majority.h"
+#include "hamlet/serve/server.h"
+#include "hamlet/serve/stats.h"
+#include "parity_util.h"
+
+namespace hamlet {
+namespace {
+
+using test::MakeParityDataset;
+using test::MakeParityViews;
+using test::ParityLearner;
+using test::ParityLearners;
+using test::ScopedEnvVar;
+using test::ScopedThreads;
+
+/// Renders `view`'s rows as request lines in the serve wire format.
+std::string RequestLines(const DataView& view) {
+  std::ostringstream os;
+  for (size_t i = 0; i < view.num_rows(); ++i) {
+    for (size_t j = 0; j < view.num_features(); ++j) {
+      if (j > 0) os << ' ';
+      os << view.feature(i, j);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+/// Parses serve output ("0\n1\n...") back into a label vector.
+std::vector<uint8_t> ParsePredictions(const std::string& out) {
+  std::vector<uint8_t> preds;
+  for (char c : out) {
+    if (c == '0' || c == '1') preds.push_back(c == '1' ? 1 : 0);
+  }
+  return preds;
+}
+
+TEST(ServeTest, ServedPredictionsMatchPredictAllThroughSaveLoad) {
+  const Dataset data = MakeParityDataset(200, {6, 4, 7, 3}, 41);
+  const auto views = MakeParityViews(data, 42);
+  const std::string requests = RequestLines(views.test);
+
+  for (const ParityLearner& learner : ParityLearners()) {
+    SCOPED_TRACE(learner.name);
+    auto model = learner.make();
+    ASSERT_TRUE(model->Fit(views.train).ok());
+    const std::vector<uint8_t> expected = model->PredictAll(views.test);
+
+    // Round-trip through the model format, as hamlet_serve does.
+    std::ostringstream saved(std::ios::binary);
+    ASSERT_TRUE(io::SaveModel(*model, saved).ok());
+    std::istringstream loaded_is(saved.str(), std::ios::binary);
+    auto loaded = io::LoadModel(loaded_is);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+    for (const char* threads : {"1", "4"}) {
+      ScopedThreads scoped(threads);
+      std::istringstream in(requests);
+      std::ostringstream out, err;
+      serve::ServeConfig config;
+      config.batch_size = 64;  // multiple batches over 67 test rows
+      const auto summary =
+          serve::ServeStream(*loaded.value(), in, out, err, config);
+      ASSERT_TRUE(summary.ok()) << summary.status().ToString();
+      EXPECT_EQ(ParsePredictions(out.str()), expected)
+          << "threads=" << threads;
+      EXPECT_EQ(summary.value().rows, views.test.num_rows());
+      EXPECT_EQ(summary.value().batches,
+                (views.test.num_rows() + 63) / 64);
+      EXPECT_GE(summary.value().p99_us, summary.value().p50_us);
+    }
+  }
+}
+
+TEST(ServeTest, SkipsBlanksAndCommentsAndAcceptsSeparators) {
+  const Dataset data = MakeParityDataset(80, {5, 4}, 7);
+  ml::MajorityClassifier model;
+  ASSERT_TRUE(model.Fit(DataView(&data)).ok());
+
+  std::istringstream in(
+      "# header comment\n"
+      "\n"
+      "1 2\n"
+      "  \t\n"
+      "3,1\r\n"
+      "0\t3\n");
+  std::ostringstream out, err;
+  const auto summary = serve::ServeStream(model, in, out, err);
+  ASSERT_TRUE(summary.ok()) << summary.status().ToString();
+  EXPECT_EQ(summary.value().rows, 3u);
+  EXPECT_EQ(ParsePredictions(out.str()).size(), 3u);
+}
+
+TEST(ServeTest, MalformedRequestsFailWithLineNumbers) {
+  const Dataset data = MakeParityDataset(80, {5, 4}, 7);
+  ml::MajorityClassifier model;
+  ASSERT_TRUE(model.Fit(DataView(&data)).ok());
+
+  struct Case {
+    const char* request;
+    StatusCode code;
+  };
+  const Case cases[] = {
+      {"1 2\nnope 3\n", StatusCode::kInvalidArgument},  // non-numeric
+      {"1\n", StatusCode::kInvalidArgument},            // too few fields
+      {"1 2 3\n", StatusCode::kInvalidArgument},        // too many fields
+      {"9 2\n", StatusCode::kOutOfRange},               // out of domain
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.request);
+    std::istringstream in(c.request);
+    std::ostringstream out, err;
+    const auto summary = serve::ServeStream(model, in, out, err);
+    ASSERT_FALSE(summary.ok());
+    EXPECT_EQ(summary.status().code(), c.code);
+    EXPECT_NE(summary.status().message().find("line"), std::string::npos);
+  }
+}
+
+TEST(ServeTest, UnfittedModelIsRejected) {
+  ml::MajorityClassifier model;
+  std::istringstream in("1 2\n");
+  std::ostringstream out, err;
+  const auto summary = serve::ServeStream(model, in, out, err);
+  ASSERT_FALSE(summary.ok());
+  EXPECT_EQ(summary.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ServeTest, BatchSizeEnvKnob) {
+  {
+    ScopedEnvVar env("HAMLET_SERVE_BATCH", "2");
+    EXPECT_EQ(serve::ConfiguredBatchSize(), 2u);
+  }
+  {
+    ScopedEnvVar env("HAMLET_SERVE_BATCH", nullptr);
+    EXPECT_EQ(serve::ConfiguredBatchSize(), 2048u);
+  }
+  {
+    // Invalid values warn (once) and fall back to the default.
+    ScopedEnvVar env("HAMLET_SERVE_BATCH", "zero");
+    EXPECT_EQ(serve::ConfiguredBatchSize(), 2048u);
+  }
+
+  // The knob drives batching end to end.
+  const Dataset data = MakeParityDataset(80, {5, 4}, 7);
+  ml::MajorityClassifier model;
+  ASSERT_TRUE(model.Fit(DataView(&data)).ok());
+  ScopedEnvVar env("HAMLET_SERVE_BATCH", "2");
+  std::istringstream in("1 2\n3 1\n0 3\n");
+  std::ostringstream out, err;
+  const auto summary = serve::ServeStream(model, in, out, err);
+  ASSERT_TRUE(summary.ok());
+  EXPECT_EQ(summary.value().batches, 2u);
+}
+
+TEST(ServeTest, StatsSummaryPercentilesAreNearestRank) {
+  serve::LatencyStats stats;
+  // 100 batches at 1..100 us (recorded in seconds).
+  for (int us = 1; us <= 100; ++us) {
+    stats.RecordBatch(10, static_cast<double>(us) * 1e-6);
+  }
+  const serve::StatsSummary s = stats.Summarize();
+  EXPECT_EQ(s.rows, 1000u);
+  EXPECT_EQ(s.batches, 100u);
+  EXPECT_NEAR(s.p50_us, 50.0, 1e-6);
+  EXPECT_NEAR(s.p99_us, 99.0, 1e-6);
+  EXPECT_GT(s.preds_per_sec, 0.0);
+}
+
+}  // namespace
+}  // namespace hamlet
