@@ -10,9 +10,13 @@
 //
 // After the table, one machine-parseable line per family:
 //   [serving] model=dt-gini rows=12000 runs=3 seconds=0.042
-//       preds_per_sec=285714.3 p50_us=350.0 p99_us=420.0   (one line)
-// run_all.py records them into BENCH_results.json (schema v5, see
-// docs/BENCH_SCHEMA.md).
+//       preds_per_sec=285714.3 p50_us=350.0 p99_us=420.0 errors=0
+//       (one line)
+// run_all.py records them into BENCH_results.json (schema v6, see
+// docs/BENCH_SCHEMA.md). errors counts rejected request lines; this
+// bench feeds pre-validated batches, so it reports the StatsSummary
+// counter (0 unless a run goes wrong) to keep the line schema identical
+// to hamlet_serve's [serve] line fields.
 
 #include <chrono>
 #include <cstdio>
@@ -222,10 +226,11 @@ int main() {
     char line[256];
     std::snprintf(line, sizeof(line),
                   "[serving] model=%s rows=%llu runs=%zu seconds=%.6f "
-                  "preds_per_sec=%.1f p50_us=%.1f p99_us=%.1f",
+                  "preds_per_sec=%.1f p50_us=%.1f p99_us=%.1f errors=%llu",
                   learner.label,
                   static_cast<unsigned long long>(s.rows), sizes.runs,
-                  s.model_seconds, s.preds_per_sec, s.p50_us, s.p99_us);
+                  s.model_seconds, s.preds_per_sec, s.p50_us, s.p99_us,
+                  static_cast<unsigned long long>(s.errors));
     lines.push_back(line);
   }
 

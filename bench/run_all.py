@@ -47,17 +47,18 @@ SVM_CACHE_RE = re.compile(
 # Stable marker printed by bench_serving_throughput, one line per model
 # family served through a Save/Load round trip:
 #   [serving] model=dt-gini rows=6000 runs=3 seconds=0.000133 \
-#       preds_per_sec=44958974.9 p50_us=43.9 p99_us=47.5
+#       preds_per_sec=44958974.9 p50_us=43.9 p99_us=47.5 errors=0
 # The full schema is documented in docs/BENCH_SCHEMA.md.
 SERVING_RE = re.compile(
     r"^\[serving\] model=([A-Za-z0-9._-]+) rows=(\d+) runs=(\d+) "
     r"seconds=([0-9.]+) preds_per_sec=([0-9.]+) "
-    r"p50_us=([0-9.]+) p99_us=([0-9.]+)$")
+    r"p50_us=([0-9.]+) p99_us=([0-9.]+) errors=(\d+)$")
 
-# Baselines from reports older than this schema lack the `serving` block
-# (and pre-v4 ones the smo/svm_cache semantics), so their wall times are
-# not comparable run-for-run; speedups against them are nulled out.
-MIN_BASELINE_SCHEMA = 5
+# Baselines from reports older than this schema lack the serving
+# `errors` counter (v6), the `serving` block itself (pre-v5), or the
+# smo/svm_cache semantics (pre-v4), so their wall times are not
+# comparable run-for-run; speedups against them are nulled out.
+MIN_BASELINE_SCHEMA = 6
 
 
 class SvmCacheParseError(ValueError):
@@ -94,6 +95,7 @@ def parse_serving(output: str):
             "preds_per_sec": float(match.group(5)),
             "p50_us": float(match.group(6)),
             "p99_us": float(match.group(7)),
+            "errors": int(match.group(8)),
         })
     return models or None
 
@@ -205,7 +207,7 @@ def run_one(path: str, mode: str, timeout_s: int) -> dict:
 def main() -> int:
     ap = argparse.ArgumentParser(
         description=__doc__,
-        epilog="The output schema (currently version 5) is documented in "
+        epilog="The output schema (currently version 6) is documented in "
                "docs/BENCH_SCHEMA.md, alongside the HAMLET_BENCH_MODE / "
                "HAMLET_BENCH_BASELINE knobs.")
     ap.add_argument("--mode", default="smoke",
@@ -229,8 +231,9 @@ def main() -> int:
             with open(args.baseline) as f:
                 baseline = json.load(f)
             # A baseline from an older schema is not comparable bench-for-
-            # bench (pre-v5 reports predate the serving bench and its
-            # run-loop changes): warn and null the speedup columns rather
+            # bench (pre-v6 reports predate the serving errors counter and
+            # the resilient-serving run loop): warn and null the speedup
+            # columns rather
             # than report ratios against a different workload. Refresh the
             # committed baseline with bench/refresh_baseline.py.
             schema = baseline.get("schema_version")
@@ -276,13 +279,13 @@ def main() -> int:
         results.append(result)
 
     report = {
-        # v5: per-bench `serving` block (per-family throughput/latency
-        # from bench_serving_throughput, parsed fail-fast like
-        # [svm-cache]), and baselines older than schema v5 are rejected
-        # with null speedups. v4 added `smo` next to `svm_cache`.
+        # v6: serving entries carry an `errors` counter (rejected request
+        # lines, from the resilient-serving work), and baselines older
+        # than schema v6 are rejected with null speedups. v5 added the
+        # `serving` block; v4 added `smo` next to `svm_cache`.
         # speedup_vs_baseline may be null when either wall time is too
         # small to compare. See docs/BENCH_SCHEMA.md.
-        "schema_version": 5,
+        "schema_version": 6,
         "suite": "hamlet-bench",
         "mode": args.mode,
         # Wall times are only comparable at equal parallelism, so pin the

@@ -5,6 +5,11 @@
 # request. (ctest PASS_REGULAR_EXPRESSION alone ignores exit codes,
 # which would mask sanitizer aborts after the marker prints.)
 #
+# A second pass feeds the same requests with two bad lines spliced in:
+# strict mode (the default) must refuse the stream with a nonzero exit,
+# and resilient mode (HAMLET_SERVE_ON_ERROR=skip) must serve everything
+# else, emitting in-order ERR lines and errors=2 in the summary.
+#
 # Usage: cmake -DSERVE_BIN=<hamlet_serve> -DWORK_DIR=<dir> \
 #              [-DFAMILY=<demo family>] -P ServeSmoke.cmake
 
@@ -50,7 +55,7 @@ endif()
 
 # The machine-parseable summary contract (also parsed by humans and by
 # bench tooling): every key present, rows equal to the request count.
-if(NOT serve_err MATCHES "\\[serve\\] model=[^ ]+ rows=100 batches=[0-9]+ model_seconds=[0-9.]+ preds_per_sec=[0-9.]+ p50_us=[0-9.]+ p99_us=[0-9.]+")
+if(NOT serve_err MATCHES "\\[serve\\] model=[^ ]+ rows=100 batches=[0-9]+ errors=0 model_seconds=[0-9.]+ preds_per_sec=[0-9.]+ p50_us=[0-9.]+ p99_us=[0-9.]+")
   message(FATAL_ERROR "serve smoke: stats line missing or malformed in stderr:\n${serve_err}")
 endif()
 
@@ -66,5 +71,58 @@ foreach(p IN LISTS pred_lines)
     message(FATAL_ERROR "serve smoke: bad prediction line '${p}'")
   endif()
 endforeach()
+
+# ---- error-isolation pass: the same requests with two bad lines ----
+# Line 1 is non-numeric; the last line is out of every demo family's
+# domains (each domain is < 999).
+set(bad_requests "${WORK_DIR}/smoke_${FAMILY}_bad_requests.txt")
+file(READ "${requests}" good_requests)
+file(WRITE "${bad_requests}" "oops not a request\n${good_requests}999 999 999 999\n")
+
+# Strict mode (the default) must refuse the stream: nonzero exit, no
+# summary line.
+execute_process(
+  COMMAND "${SERVE_BIN}" "${model}" "${bad_requests}"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE strict_out
+  ERROR_VARIABLE strict_err
+)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "serve smoke: strict mode accepted a malformed stream:\n${strict_err}")
+endif()
+if(NOT strict_err MATCHES "request line 1")
+  message(FATAL_ERROR "serve smoke: strict failure does not name the line:\n${strict_err}")
+endif()
+
+# Resilient mode serves the 100 good rows, reports errors=2, and keeps
+# one output line per request (102 = 100 predictions + 2 ERR lines).
+execute_process(
+  COMMAND "${CMAKE_COMMAND}" -E env HAMLET_SERVE_ON_ERROR=skip
+          "${SERVE_BIN}" "${model}" "${bad_requests}"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE skip_out
+  ERROR_VARIABLE skip_err
+)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "serve smoke: resilient serving failed (${rc}): ${skip_err}")
+endif()
+if(NOT skip_err MATCHES "\\[serve\\] model=[^ ]+ rows=100 batches=[0-9]+ errors=2 ")
+  message(FATAL_ERROR "serve smoke: resilient stats line missing or malformed:\n${skip_err}")
+endif()
+string(REGEX REPLACE "\n$" "" skip_trimmed "${skip_out}")
+string(REPLACE "\n" ";" skip_lines "${skip_trimmed}")
+list(LENGTH skip_lines num_lines)
+if(NOT num_lines EQUAL 102)
+  message(FATAL_ERROR "serve smoke: expected 102 output lines (100 predictions + 2 ERR), got ${num_lines}")
+endif()
+# The ERR lines land in request order: first and last.
+list(GET skip_lines 0 first_line)
+list(GET skip_lines 101 last_line)
+if(NOT first_line MATCHES "^ERR 1: ")
+  message(FATAL_ERROR "serve smoke: expected 'ERR 1: ...' first, got '${first_line}'")
+endif()
+if(NOT last_line MATCHES "^ERR 102: ")
+  message(FATAL_ERROR "serve smoke: expected 'ERR 102: ...' last, got '${last_line}'")
+endif()
 
 message("serve smoke (${FAMILY}): OK — ${serve_err}")

@@ -1,0 +1,39 @@
+#include "hamlet/common/crc32.h"
+
+#include <array>
+
+namespace hamlet {
+
+namespace {
+
+/// Byte-at-a-time lookup table for the reflected IEEE polynomial, built
+/// once at static-init time (256 * 8 shifts; negligible).
+std::array<uint32_t, 256> MakeTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& Table() {
+  static const std::array<uint32_t, 256> table = MakeTable();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32Feed(uint32_t state, const void* data, size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  const auto& table = Table();
+  for (size_t i = 0; i < n; ++i) {
+    state = table[(state ^ p[i]) & 0xffu] ^ (state >> 8);
+  }
+  return state;
+}
+
+}  // namespace hamlet

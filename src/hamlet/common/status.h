@@ -22,6 +22,12 @@ enum class StatusCode {
   kOutOfRange,
   kFailedPrecondition,
   kInternal,
+  /// Verified corruption of stored data (e.g. a checksum mismatch on a
+  /// model file): retrying will not help, the bytes are wrong.
+  kDataLoss,
+  /// Transient failure (e.g. an injected I/O fault, a busy resource):
+  /// the operation may succeed if retried.
+  kUnavailable,
 };
 
 /// Human-readable name for a StatusCode ("OK", "InvalidArgument", ...).
@@ -48,6 +54,18 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  /// Rebuilds a Status with an explicit code — for wrappers that add
+  /// context to a message while preserving the original category.
+  /// FromCode(kOk, ...) is OK (the message is dropped).
+  static Status FromCode(StatusCode code, std::string msg) {
+    return code == StatusCode::kOk ? OK() : Status(code, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -4,6 +4,8 @@
 #include <istream>
 #include <ostream>
 
+#include "hamlet/common/crc32.h"
+
 namespace hamlet {
 namespace io {
 
@@ -32,7 +34,19 @@ void ModelWriter::WriteBytes(const void* data, size_t n) {
   os_.write(static_cast<const char*>(data), static_cast<std::streamsize>(n));
   if (!os_.good()) {
     status_ = Status::Internal("model stream write failed");
+    return;
   }
+  if (checksumming_) crc_state_ = Crc32Feed(crc_state_, data, n);
+}
+
+void ModelWriter::BeginChecksum() {
+  checksumming_ = true;
+  crc_state_ = kCrc32Init;
+}
+
+uint32_t ModelWriter::TakeChecksum() {
+  checksumming_ = false;
+  return Crc32Finalize(crc_state_);
 }
 
 void ModelWriter::WriteRaw(const void* data, size_t n) {
@@ -97,7 +111,18 @@ Status ModelReader::ReadBytes(void* data, size_t n) {
   if (static_cast<size_t>(is_.gcount()) != n) {
     return Status::OutOfRange("truncated model stream");
   }
+  if (checksumming_) crc_state_ = Crc32Feed(crc_state_, data, n);
   return Status::OK();
+}
+
+void ModelReader::BeginChecksum() {
+  checksumming_ = true;
+  crc_state_ = kCrc32Init;
+}
+
+uint32_t ModelReader::TakeChecksum() {
+  checksumming_ = false;
+  return Crc32Finalize(crc_state_);
 }
 
 Status ModelReader::ReadLength(uint64_t* out, const char* what) {
@@ -198,8 +223,12 @@ Status ModelReader::ExpectBytes(const char* expected, size_t n,
   std::vector<char> got(n);
   Status st = ReadBytes(got.data(), n);
   if (!st.ok()) {
-    return Status::InvalidArgument(std::string("not a hamlet model: ") +
-                                   what + " missing (" + st.message() + ")");
+    // Keep the short-read code (OutOfRange): a truncated stream is a
+    // different failure class from a present-but-wrong marker, and the
+    // load retry wrapper treats only the former as possibly transient.
+    return Status::FromCode(st.code(), std::string("not a hamlet model: ") +
+                                           what + " missing (" +
+                                           st.message() + ")");
   }
   if (std::memcmp(got.data(), expected, n) != 0) {
     return Status::InvalidArgument(std::string("not a hamlet model: bad ") +

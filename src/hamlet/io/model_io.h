@@ -29,10 +29,14 @@ inline constexpr char kModelMagic[4] = {'H', 'M', 'L', 'M'};
 /// Last bytes of every model file; catches silent truncation after an
 /// otherwise-complete body.
 inline constexpr char kModelFooter[4] = {'M', 'L', 'M', 'H'};
-/// Container format version. Bump on any layout change; LoadModel
-/// rejects versions it does not understand with an InvalidArgument
-/// Status naming both versions.
-inline constexpr uint32_t kModelFormatVersion = 1;
+/// Container format version written by SaveModel. Bump on any layout
+/// change; LoadModel rejects versions outside
+/// [kMinModelFormatVersion, kModelFormatVersion] with an InvalidArgument
+/// Status naming both versions. v2 added the CRC-32 body checksum (a u32
+/// between body and footer, covering family tag + domain header + body);
+/// v1 files (no checksum) still load.
+inline constexpr uint32_t kModelFormatVersion = 2;
+inline constexpr uint32_t kMinModelFormatVersion = 1;
 
 /// Upper bound on any single serialized vector (element count). Far
 /// above any real model section, low enough that a corrupt length field
@@ -63,6 +67,12 @@ class ModelWriter {
   /// Raw bytes, no length prefix (magic/footer markers).
   void WriteRaw(const void* data, size_t n);
 
+  /// Starts folding every subsequently written byte into a CRC-32.
+  /// TakeChecksum() finalizes and stops accumulating, so the checksum
+  /// field itself (written right after) is not part of its own coverage.
+  void BeginChecksum();
+  uint32_t TakeChecksum();
+
   const Status& status() const { return status_; }
 
  private:
@@ -70,6 +80,8 @@ class ModelWriter {
 
   std::ostream& os_;
   Status status_;
+  bool checksumming_ = false;
+  uint32_t crc_state_ = 0;
 };
 
 /// Little-endian deserializer over an istream. Every Read* returns
@@ -90,8 +102,17 @@ class ModelReader {
   Status ReadCodeMatrix(CodeMatrix* out);
 
   /// Reads `n` bytes and fails unless they equal `expected` (magic /
-  /// footer checks); `what` names the field in the error message.
+  /// footer checks); `what` names the field in the error message. A
+  /// short read keeps its underlying code (OutOfRange), so retry logic
+  /// can tell truncation from a byte mismatch (InvalidArgument).
   Status ExpectBytes(const char* expected, size_t n, const char* what);
+
+  /// Mirror of the writer's checksum window: BeginChecksum() starts
+  /// folding every subsequently read byte into a CRC-32; TakeChecksum()
+  /// finalizes and stops, leaving the stored checksum field (read next)
+  /// outside its own coverage.
+  void BeginChecksum();
+  uint32_t TakeChecksum();
 
  private:
   Status ReadBytes(void* data, size_t n);
@@ -99,6 +120,8 @@ class ModelReader {
   Status ReadLength(uint64_t* out, const char* what);
 
   std::istream& is_;
+  bool checksumming_ = false;
+  uint32_t crc_state_ = 0;
 };
 
 }  // namespace io

@@ -1,8 +1,17 @@
 #include "hamlet/io/serialize.h"
 
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
 #include <fstream>
+#include <system_error>
+#include <thread>
 #include <utility>
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "hamlet/common/fault.h"
 #include "hamlet/io/model_io.h"
 #include "hamlet/ml/ann/mlp.h"
 #include "hamlet/ml/knn/one_nn.h"
@@ -28,6 +37,86 @@ Result<std::unique_ptr<ml::Classifier>> Finish(
   return Result<std::unique_ptr<ml::Classifier>>(std::move(model));
 }
 
+/// Thread-safe errno -> "No such file or directory"-style text.
+std::string ErrnoText(int err) {
+  return std::error_code(err, std::generic_category()).message();
+}
+
+/// fsyncs `path` (a file or directory) through a fresh descriptor. The
+/// injected io.save.fsync fault models an fsync that returns EIO.
+Status FsyncPath(const std::string& path) {
+  HAMLET_RETURN_IF_ERROR(fault::Inject(fault::kSiteSaveFsync, path));
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::Internal("cannot open " + path +
+                            " for fsync (" + ErrnoText(errno) + ")");
+  }
+  const int rc = ::fsync(fd);
+  const int err = errno;
+  ::close(fd);
+  if (rc != 0) {
+    return Status::Internal("fsync failed on " + path + " (" +
+                            ErrnoText(err) + ")");
+  }
+  return Status::OK();
+}
+
+/// Directory part of `path` ("." when it has none), for the post-rename
+/// directory fsync that makes the new entry durable.
+std::string DirOf(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+/// The save pipeline up to (not including) the rename, writing into
+/// `tmp`. Split out so the caller owns temp-file cleanup on any failure.
+Status SaveToTemp(const ml::Classifier& model, const std::string& tmp) {
+  HAMLET_RETURN_IF_ERROR(fault::Inject(fault::kSiteSaveOpen, tmp));
+  std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+  if (!os) {
+    return Status::InvalidArgument("cannot open temp model file for writing: " +
+                                   tmp + " (" + ErrnoText(errno) + ")");
+  }
+  Status st;
+  if (fault::Enabled()) {
+    // Interpose the fault adapter so io.save.write can fail any write.
+    fault::FaultInjectingStreambuf buf(os.rdbuf(), fault::kSiteSaveWrite,
+                                       nullptr);
+    std::ostream faulty(&buf);
+    st = SaveModel(model, faulty);
+    faulty.flush();
+    if (st.ok() && !faulty.good()) {
+      st = Status::Internal("model stream write failed");
+    }
+  } else {
+    st = SaveModel(model, os);
+  }
+  if (!st.ok()) {
+    return Status::FromCode(st.code(),
+                            st.message() + " (writing " + tmp + ")");
+  }
+  os.flush();
+  if (!os) {
+    return Status::Internal("write error on temp model file: " + tmp + " (" +
+                            ErrnoText(errno) + ")");
+  }
+  os.close();
+  if (os.fail()) {
+    return Status::Internal("close failed on temp model file: " + tmp + " (" +
+                            ErrnoText(errno) + ")");
+  }
+  // File durable before the rename publishes it: a crash between rename
+  // and data reaching disk must not leave a loadable-but-hollow file.
+  return FsyncPath(tmp);
+}
+
+bool RetryableLoadFailure(StatusCode code) {
+  return code == StatusCode::kUnavailable || code == StatusCode::kInternal ||
+         code == StatusCode::kOutOfRange;
+}
+
 }  // namespace
 
 Status SaveModel(const ml::Classifier& model, std::ostream& os) {
@@ -42,10 +131,14 @@ Status SaveModel(const ml::Classifier& model, std::ostream& os) {
   ModelWriter writer(os);
   writer.WriteRaw(kModelMagic, sizeof(kModelMagic));
   writer.WriteU32(kModelFormatVersion);
+  // Everything from the family tag through the body is checksummed; the
+  // checksum itself and the footer are outside the window.
+  writer.BeginChecksum();
   writer.WriteU32(static_cast<uint32_t>(model.family()));
   writer.WriteU32Vec(model.train_domain_sizes());
   HAMLET_RETURN_IF_ERROR(writer.status());
   HAMLET_RETURN_IF_ERROR(model.SaveBody(writer));
+  writer.WriteU32(writer.TakeChecksum());
   writer.WriteRaw(kModelFooter, sizeof(kModelFooter));
   return writer.status();
 }
@@ -56,12 +149,15 @@ Result<std::unique_ptr<ml::Classifier>> LoadModel(std::istream& is) {
       reader.ExpectBytes(kModelMagic, sizeof(kModelMagic), "magic"));
   uint32_t version, family_tag;
   HAMLET_RETURN_IF_ERROR(reader.ReadU32(&version));
-  if (version != kModelFormatVersion) {
+  if (version < kMinModelFormatVersion || version > kModelFormatVersion) {
     return Status::InvalidArgument(
         "unsupported model format version " + std::to_string(version) +
-        " (this build reads version " +
+        " (this build reads versions " +
+        std::to_string(kMinModelFormatVersion) + " to " +
         std::to_string(kModelFormatVersion) + ")");
   }
+  const bool has_checksum = version >= 2;
+  if (has_checksum) reader.BeginChecksum();
   HAMLET_RETURN_IF_ERROR(reader.ReadU32(&family_tag));
   std::vector<uint32_t> domains;
   HAMLET_RETURN_IF_ERROR(reader.ReadU32Vec(&domains));
@@ -104,28 +200,84 @@ Result<std::unique_ptr<ml::Classifier>> LoadModel(std::istream& is) {
           std::to_string(family_tag));
   }
   if (!loaded.ok()) return loaded.status();
+  if (has_checksum) {
+    const uint32_t computed = reader.TakeChecksum();
+    uint32_t stored;
+    HAMLET_RETURN_IF_ERROR(reader.ReadU32(&stored));
+    if (stored != computed) {
+      return Status::DataLoss(
+          "model body checksum mismatch: stored " + std::to_string(stored) +
+          ", computed " + std::to_string(computed) +
+          " (the file is corrupt)");
+    }
+  }
   HAMLET_RETURN_IF_ERROR(
       reader.ExpectBytes(kModelFooter, sizeof(kModelFooter), "footer"));
   return loaded;
 }
 
 Status SaveModelToFile(const ml::Classifier& model, const std::string& path) {
-  std::ofstream os(path, std::ios::binary | std::ios::trunc);
-  if (!os) {
-    return Status::InvalidArgument("cannot open model file for writing: " +
-                                   path);
+  // Temp sibling in the same directory, so the final rename is atomic
+  // (same filesystem) and a crash leaves at worst a recognisable .tmp.
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  Status st = SaveToTemp(model, tmp);
+  if (st.ok()) {
+    st = fault::Inject(fault::kSiteSaveRename, path);
+    if (st.ok() && std::rename(tmp.c_str(), path.c_str()) != 0) {
+      st = Status::Internal("cannot rename " + tmp + " to " + path + " (" +
+                            ErrnoText(errno) + ")");
+    }
   }
-  HAMLET_RETURN_IF_ERROR(SaveModel(model, os));
-  os.flush();
-  if (!os) return Status::Internal("write error on model file: " + path);
-  return Status::OK();
+  if (!st.ok()) {
+    std::remove(tmp.c_str());  // never leave a partial temp behind
+    return st;
+  }
+  // Make the directory entry durable. Failure here means the data is
+  // safe but the rename may not survive a power cut — report it.
+  return FsyncPath(DirOf(path));
 }
 
 Result<std::unique_ptr<ml::Classifier>> LoadModelFromFile(
     const std::string& path) {
+  {
+    const Status st = fault::Inject(fault::kSiteLoadOpen, path);
+    if (!st.ok()) return st;
+  }
   std::ifstream is(path, std::ios::binary);
-  if (!is) return Status::NotFound("cannot open model file: " + path);
+  if (!is) {
+    return Status::NotFound("cannot open model file: " + path + " (" +
+                            ErrnoText(errno) + ")");
+  }
+  if (fault::Enabled()) {
+    // Interpose the fault adapter so io.load.read can fail any read.
+    fault::FaultInjectingStreambuf buf(is.rdbuf(), nullptr,
+                                       fault::kSiteLoadRead);
+    std::istream faulty(&buf);
+    return LoadModel(faulty);
+  }
   return LoadModel(is);
+}
+
+Result<std::unique_ptr<ml::Classifier>> LoadModelFromFileWithRetry(
+    const std::string& path, const LoadRetryConfig& config) {
+  const int attempts = config.max_attempts < 1 ? 1 : config.max_attempts;
+  std::chrono::milliseconds backoff = config.initial_backoff;
+  Status last = Status::Internal("unreachable");
+  for (int attempt = 1; attempt <= attempts; ++attempt) {
+    Result<std::unique_ptr<ml::Classifier>> loaded = LoadModelFromFile(path);
+    if (loaded.ok() || !RetryableLoadFailure(loaded.status().code())) {
+      return loaded;
+    }
+    last = loaded.status();
+    if (attempt < attempts && backoff.count() > 0) {
+      std::this_thread::sleep_for(backoff);
+      backoff = std::min(backoff * 2, config.max_backoff);
+    }
+  }
+  return Status::FromCode(last.code(),
+                          last.message() + " (after " +
+                              std::to_string(attempts) + " attempts)");
 }
 
 }  // namespace io

@@ -1,27 +1,44 @@
 // Versioned container format for fitted hamlet models.
 //
-// Layout (all integers little-endian; see model_io.h for the byte layer):
+// Layout, format v2 (all integers little-endian; see model_io.h for the
+// byte layer):
 //
-//   magic   "HMLM"                       4 bytes
-//   version u32 (kModelFormatVersion)
-//   family  u32 (ml::ModelFamily tag)
-//   domains u32 num_features + u32[num_features] per-feature domain sizes
-//   body    learner-specific section (the learner's SaveBody/LoadBody pair)
-//   footer  "MLMH"                       4 bytes
+//   magic    "HMLM"                       4 bytes
+//   version  u32 (kModelFormatVersion)
+//   family   u32 (ml::ModelFamily tag)        ─┐
+//   domains  u32 num_features + u32[] sizes    │ CRC-32 coverage
+//   body     learner-specific section         ─┘
+//   checksum u32 CRC-32 of the covered bytes (v2+ only)
+//   footer   "MLMH"                       4 bytes
+//
+// v1 files (PR 6) lack the checksum field and still load. Structural
+// checks catch truncation and implausible lengths; the checksum catches
+// bit flips inside otherwise well-formed payload bytes, surfacing them
+// as DataLoss instead of depending on structural luck.
 //
 // The header's domain metadata is the serving contract: a server decodes
 // and validates raw request tuples against it without ever seeing the
 // training Dataset. LoadModel re-attaches it to the deserialized model
 // via Classifier::RestoreTrainDomains.
 //
+// Durability: SaveModelToFile never leaves a partial file at the target
+// path. It writes a temp sibling, flushes and fsyncs it, then renames it
+// over the target (and fsyncs the directory), deleting the temp on any
+// failure — a crash or injected fault mid-save leaves either the old
+// file or nothing. File-level error Statuses carry the path and errno
+// text. All of it is exercised by the fault-injection sites in
+// common/fault.h (io.save.*, io.load.*).
+//
 // Every malformed-input path — bad magic/footer, unknown version or
-// family, truncated stream, body/header disagreement — returns a Status;
-// loading never crashes on corrupt bytes (tests/model_io_test.cc sweeps
-// truncations and bit flips).
+// family, truncated stream, checksum mismatch, body/header disagreement
+// — returns a Status; loading never crashes on corrupt bytes
+// (tests/model_io_test.cc sweeps truncations and bit flips,
+// tests/fault_test.cc sweeps the injection sites).
 
 #ifndef HAMLET_IO_SERIALIZE_H_
 #define HAMLET_IO_SERIALIZE_H_
 
+#include <chrono>
 #include <iosfwd>
 #include <memory>
 #include <string>
@@ -37,16 +54,37 @@ namespace io {
 /// (ModelFamily::kUnsupported, e.g. the backward-selection wrapper).
 Status SaveModel(const ml::Classifier& model, std::ostream& os);
 
-/// Reads a model written by SaveModel, dispatching on the family tag.
-/// The concrete learner is reconstructed behind the Classifier interface
-/// with its train-domain metadata restored, ready for PredictAll.
+/// Reads a model written by SaveModel (format v1 or v2), dispatching on
+/// the family tag. The concrete learner is reconstructed behind the
+/// Classifier interface with its train-domain metadata restored, ready
+/// for PredictAll. A v2 body whose checksum does not match is DataLoss.
 Result<std::unique_ptr<ml::Classifier>> LoadModel(std::istream& is);
 
-/// File conveniences: binary-mode streams over `path` plus I/O error
-/// mapping (open failure -> NotFound / InvalidArgument).
+/// Atomic + durable file save: temp sibling -> flush/fsync -> rename,
+/// so no partial file is ever observable at `path`. On failure the temp
+/// file is removed and the Status names the path and errno.
 Status SaveModelToFile(const ml::Classifier& model, const std::string& path);
+
+/// File load with I/O error mapping (open failure -> NotFound with path
+/// + errno text).
 Result<std::unique_ptr<ml::Classifier>> LoadModelFromFile(
     const std::string& path);
+
+/// Bounded retry-with-backoff policy for LoadModelFromFileWithRetry.
+struct LoadRetryConfig {
+  int max_attempts = 3;
+  std::chrono::milliseconds initial_backoff{1};
+  std::chrono::milliseconds max_backoff{50};
+};
+
+/// LoadModelFromFile wrapped in bounded retries for transient failures
+/// (Unavailable — e.g. injected faults — plus Internal and OutOfRange,
+/// the codes a mid-flight I/O error surfaces as). Permanent failures
+/// (NotFound, InvalidArgument, DataLoss) return immediately; the last
+/// attempt's Status is returned when retries are exhausted. Backoff
+/// doubles from initial_backoff up to max_backoff between attempts.
+Result<std::unique_ptr<ml::Classifier>> LoadModelFromFileWithRetry(
+    const std::string& path, const LoadRetryConfig& config = {});
 
 }  // namespace io
 }  // namespace hamlet

@@ -7,6 +7,15 @@
 //       a terminal, a LiveOps-style in-place throughput line updates
 //       during the run.
 //
+//       HAMLET_SERVE_ON_ERROR=skip turns on resilient mode: malformed
+//       request lines become in-order "ERR <line>: <reason>" output
+//       lines (bounded by HAMLET_SERVE_MAX_ERRORS) instead of aborting.
+//
+//       SIGHUP hot-reloads the model: the file is re-read into a fresh
+//       slot and swapped in at the next batch boundary only if it loads
+//       cleanly and its feature domains match; on any failure the old
+//       model keeps serving (a line on stderr says which happened).
+//
 //   hamlet_serve --train-demo <model-file> [family]
 //       Fit a small deterministic synthetic model of the given family
 //       (dt, nb, logreg, svm-linear, svm-rbf, 1nn, mlp, majority;
@@ -18,12 +27,15 @@
 //
 // Exit status: 0 on success, 1 on any error (message on stderr).
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include <unistd.h>
@@ -56,6 +68,22 @@ using hamlet::Status;
 int Fail(const Status& st) {
   std::fprintf(stderr, "hamlet_serve: %s\n", st.ToString().c_str());
   return 1;
+}
+
+/// SIGHUP = hot-reload request, consumed at the next batch boundary.
+volatile std::sig_atomic_t g_reload_requested = 0;
+
+extern "C" void OnSighup(int) { g_reload_requested = 1; }
+
+void InstallSighupHandler() {
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = OnSighup;
+  sigemptyset(&sa.sa_mask);
+  // SA_RESTART: a reload request must not error out a blocking stdin
+  // read; the swap waits for the next batch boundary instead.
+  sa.sa_flags = SA_RESTART;
+  sigaction(SIGHUP, &sa, nullptr);
 }
 
 int Usage() {
@@ -175,9 +203,13 @@ int EmitRequests(const std::string& path, const std::string& count_arg,
 }
 
 int Serve(const std::string& model_path, const std::string& requests_path) {
-  Result<std::unique_ptr<hamlet::ml::Classifier>> model =
-      hamlet::io::LoadModelFromFile(model_path);
-  if (!model.ok()) return Fail(model.status());
+  Result<std::unique_ptr<hamlet::ml::Classifier>> loaded =
+      hamlet::io::LoadModelFromFileWithRetry(model_path);
+  if (!loaded.ok()) return Fail(loaded.status());
+  // The serving slot: hot reload swaps a validated fresh model in here;
+  // ServeStream picks the new pointer up at the next batch boundary.
+  std::unique_ptr<hamlet::ml::Classifier> current =
+      std::move(loaded).value();
 
   std::ifstream file;
   if (!requests_path.empty()) {
@@ -189,22 +221,51 @@ int Serve(const std::string& model_path, const std::string& requests_path) {
   }
   std::istream& in = requests_path.empty() ? std::cin : file;
 
+  InstallSighupHandler();
+
   hamlet::serve::ServeConfig config;
   config.live_stats = isatty(2) != 0;
+  config.model_poll = [&]() -> const hamlet::ml::Classifier* {
+    if (g_reload_requested == 0) return nullptr;
+    g_reload_requested = 0;
+    auto fresh = hamlet::io::LoadModelFromFileWithRetry(model_path);
+    if (!fresh.ok()) {
+      std::fprintf(stderr,
+                   "hamlet_serve: reload failed (%s); keeping the current "
+                   "model\n",
+                   fresh.status().ToString().c_str());
+      return nullptr;
+    }
+    const Status valid =
+        hamlet::serve::ValidateReloadedModel(*current, *fresh.value());
+    if (!valid.ok()) {
+      std::fprintf(stderr,
+                   "hamlet_serve: reload rejected (%s); keeping the current "
+                   "model\n",
+                   valid.ToString().c_str());
+      return nullptr;
+    }
+    current = std::move(fresh).value();
+    std::fprintf(stderr, "hamlet_serve: reloaded model %s from %s\n",
+                 current->name().c_str(), model_path.c_str());
+    return current.get();
+  };
+
   Result<hamlet::serve::StatsSummary> summary =
-      hamlet::serve::ServeStream(*model.value(), in, std::cout, std::cerr,
-                                 config);
+      hamlet::serve::ServeStream(*current, in, std::cout, std::cerr, config);
   if (!summary.ok()) return Fail(summary.status());
 
   const hamlet::serve::StatsSummary& s = summary.value();
   // Machine-parseable run summary; keep key=value, space-separated
   // (bench/run_all.py-style contract, asserted by the serve smoke test).
   std::fprintf(stderr,
-               "[serve] model=%s rows=%llu batches=%llu model_seconds=%.6f "
-               "preds_per_sec=%.1f p50_us=%.1f p99_us=%.1f\n",
-               model.value()->name().c_str(),
+               "[serve] model=%s rows=%llu batches=%llu errors=%llu "
+               "model_seconds=%.6f preds_per_sec=%.1f p50_us=%.1f "
+               "p99_us=%.1f\n",
+               current->name().c_str(),
                static_cast<unsigned long long>(s.rows),
-               static_cast<unsigned long long>(s.batches), s.model_seconds,
+               static_cast<unsigned long long>(s.batches),
+               static_cast<unsigned long long>(s.errors), s.model_seconds,
                s.preds_per_sec, s.p50_us, s.p99_us);
   return 0;
 }

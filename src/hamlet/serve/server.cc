@@ -35,8 +35,10 @@ Dataset MakeRequestDataset(const std::vector<uint32_t>& domains) {
 }
 
 /// Parses one request line into `codes`, validating field count and
-/// domain membership. `line_no` is 1-based for error messages.
-Status ParseRequestLine(const std::string& line, size_t line_no,
+/// domain membership. The returned message carries no line prefix; the
+/// caller adds "request line N: " so both the strict Status and the
+/// resilient ERR output line can share the reason text.
+Status ParseRequestLine(const std::string& line,
                         const std::vector<uint32_t>& domains,
                         std::vector<uint32_t>& codes) {
   codes.clear();
@@ -46,32 +48,30 @@ Status ParseRequestLine(const std::string& line, size_t line_no,
     if (*p == '\0') break;
     if (*p < '0' || *p > '9') {
       return Status::InvalidArgument(
-          "request line " + std::to_string(line_no) +
-          ": expected an unsigned integer code, got \"" + line + "\"");
+          "expected an unsigned integer code, got \"" + line + "\"");
     }
     char* end = nullptr;
     const unsigned long long v = std::strtoull(p, &end, 10);
     const size_t j = codes.size();
     if (j >= domains.size()) {
-      return Status::InvalidArgument(
-          "request line " + std::to_string(line_no) + ": more than " +
-          std::to_string(domains.size()) + " fields");
+      return Status::InvalidArgument("more than " +
+                                     std::to_string(domains.size()) +
+                                     " fields");
     }
     if (v >= domains[j]) {
       // Out-of-domain codes would index past learner tables (NB
       // likelihoods, logreg weights); reject at the door.
       return Status::OutOfRange(
-          "request line " + std::to_string(line_no) + ": code " +
-          std::to_string(v) + " outside feature " + std::to_string(j) +
-          "'s domain [0, " + std::to_string(domains[j]) + ")");
+          "code " + std::to_string(v) + " outside feature " +
+          std::to_string(j) + "'s domain [0, " +
+          std::to_string(domains[j]) + ")");
     }
     codes.push_back(static_cast<uint32_t>(v));
     p = end;
   }
   if (codes.size() != domains.size()) {
     return Status::InvalidArgument(
-        "request line " + std::to_string(line_no) + ": got " +
-        std::to_string(codes.size()) + " fields, model expects " +
+        "got " + std::to_string(codes.size()) + " fields, model expects " +
         std::to_string(domains.size()));
   }
   return Status::OK();
@@ -96,11 +96,64 @@ size_t ConfiguredBatchSize() {
   return static_cast<size_t>(parsed);
 }
 
+OnError ConfiguredOnError() {
+  const char* env = std::getenv("HAMLET_SERVE_ON_ERROR");
+  if (env == nullptr || *env == '\0') return OnError::kAbort;
+  const std::string value = env;
+  if (value == "abort") return OnError::kAbort;
+  if (value == "skip") return OnError::kSkip;
+  if (FirstOccurrence(std::string("serve_on_error:") + value)) {
+    std::fprintf(stderr,
+                 "hamlet: invalid HAMLET_SERVE_ON_ERROR=\"%s\" (want "
+                 "\"abort\" or \"skip\"); using abort\n",
+                 env);
+  }
+  return OnError::kAbort;
+}
+
+size_t ConfiguredMaxErrors() {
+  const char* env = std::getenv("HAMLET_SERVE_MAX_ERRORS");
+  if (env == nullptr || *env == '\0') return kUnlimitedErrors;
+  char* end = nullptr;
+  const long parsed = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0' || parsed < 1) {
+    if (FirstOccurrence(std::string("serve_max_errors:") + env)) {
+      std::fprintf(stderr,
+                   "hamlet: invalid HAMLET_SERVE_MAX_ERRORS=\"%s\" (want a "
+                   "positive integer); errors are unlimited\n",
+                   env);
+    }
+    return kUnlimitedErrors;
+  }
+  return static_cast<size_t>(parsed);
+}
+
+Status ValidateReloadedModel(const ml::Classifier& current,
+                             const ml::Classifier& candidate) {
+  if (candidate.train_domain_sizes().empty()) {
+    return Status::FailedPrecondition(
+        "reloaded model carries no train-domain metadata");
+  }
+  if (candidate.train_domain_sizes() != current.train_domain_sizes()) {
+    return Status::FailedPrecondition(
+        "reloaded model's feature domains disagree with the serving "
+        "model's (" +
+        std::to_string(candidate.train_domain_sizes().size()) + " vs " +
+        std::to_string(current.train_domain_sizes().size()) +
+        " features, or differing domain sizes); keeping the old model");
+  }
+  return Status::OK();
+}
+
 Result<StatsSummary> ServeStream(const ml::Classifier& model,
                                  std::istream& in, std::ostream& out,
                                  std::ostream& err,
                                  const ServeConfig& config) {
-  const std::vector<uint32_t>& domains = model.train_domain_sizes();
+  // By value: hot reload may destroy the original model at a batch
+  // boundary, and the parser keeps validating against these domains for
+  // the whole stream (the swap validator guarantees they are identical
+  // on the replacement).
+  const std::vector<uint32_t> domains = model.train_domain_sizes();
   if (domains.empty()) {
     return Status::FailedPrecondition(
         "model carries no train-domain metadata; load it via io::LoadModel "
@@ -108,9 +161,19 @@ Result<StatsSummary> ServeStream(const ml::Classifier& model,
   }
   const size_t batch_size =
       config.batch_size > 0 ? config.batch_size : ConfiguredBatchSize();
+  const OnError on_error = config.on_error == OnError::kEnv
+                               ? ConfiguredOnError()
+                               : config.on_error;
+  const size_t max_errors =
+      config.max_errors > 0 ? config.max_errors : ConfiguredMaxErrors();
 
   LatencyStats stats;
   LiveTicker ticker(err, config.live_stats);
+
+  // Hot reload swaps this pointer at batch boundaries; request parsing
+  // keeps using `domains` from the original model, which
+  // ValidateReloadedModel guarantees are identical on the new one.
+  const ml::Classifier* active = &model;
 
   Dataset batch = MakeRequestDataset(domains);
   batch.Reserve(batch_size);
@@ -118,9 +181,12 @@ Result<StatsSummary> ServeStream(const ml::Classifier& model,
 
   auto flush_batch = [&]() -> Status {
     if (batch_rows == 0) return Status::OK();
+    if (config.model_poll) {
+      if (const ml::Classifier* fresh = config.model_poll()) active = fresh;
+    }
     const DataView view(&batch);
     const auto t0 = std::chrono::steady_clock::now();
-    const std::vector<uint8_t> preds = model.PredictAll(view);
+    const std::vector<uint8_t> preds = active->PredictAll(view);
     const std::chrono::duration<double> dt =
         std::chrono::steady_clock::now() - t0;
     stats.RecordBatch(preds.size(), dt.count());
@@ -141,10 +207,32 @@ Result<StatsSummary> ServeStream(const ml::Classifier& model,
   while (std::getline(in, line)) {
     ++line_no;
     if (!line.empty() && line.back() == '\r') line.pop_back();
-    // Skip blanks and comments without emitting a prediction line.
+    // Skip blanks and comments without emitting an output line.
     const size_t first = line.find_first_not_of(" \t");
     if (first == std::string::npos || line[first] == '#') continue;
-    HAMLET_RETURN_IF_ERROR(ParseRequestLine(line, line_no, domains, codes));
+    const Status parsed = ParseRequestLine(line, domains, codes);
+    if (!parsed.ok()) {
+      if (on_error == OnError::kAbort) {
+        return Status::FromCode(parsed.code(),
+                                "request line " + std::to_string(line_no) +
+                                    ": " + parsed.message());
+      }
+      // Resilient mode: flush what came before so the ERR line lands in
+      // request order, then keep serving.
+      HAMLET_RETURN_IF_ERROR(flush_batch());
+      out << "ERR " << line_no << ": " << parsed.message() << '\n';
+      if (!out) {
+        return Status::Internal("serve: write error on output stream");
+      }
+      stats.RecordError();
+      if (stats.errors() > max_errors) {
+        return Status::OutOfRange(
+            "request line " + std::to_string(line_no) + ": error budget "
+            "exceeded (" + std::to_string(max_errors) + " rejected lines, "
+            "HAMLET_SERVE_MAX_ERRORS); last error: " + parsed.message());
+      }
+      continue;
+    }
     HAMLET_RETURN_IF_ERROR(batch.AppendRow(codes, 0));
     if (++batch_rows >= batch_size) HAMLET_RETURN_IF_ERROR(flush_batch());
   }

@@ -11,15 +11,33 @@
 //
 // Request line format: num_features() unsigned integers separated by
 // spaces, tabs or commas. Blank lines and lines starting with '#' are
-// skipped (and produce no output line). Any malformed or out-of-domain
-// line aborts the run with a Status naming the line number — a serving
-// process must never feed a learner codes outside the domains its
-// tables were sized for.
+// skipped (and produce no output line).
+//
+// Error isolation contract: what a malformed or out-of-domain line does
+// depends on ServeConfig::on_error.
+//   kAbort (strict, the default): the run stops with a Status naming
+//     the line number — bit-identical behaviour to the original server.
+//   kSkip (resilient): the line produces an in-order
+//     "ERR <line>: <reason>" output line instead of a prediction, the
+//     error counter in StatsSummary increments, and serving continues.
+//     One output line per request either way, so callers can still zip
+//     requests with responses. max_errors bounds the tolerance: one
+//     more rejected line aborts the run (a stream that is all garbage
+//     is a caller bug, not load).
+// Either way a serving process never feeds a learner codes outside the
+// domains its tables were sized for.
+//
+// Hot reload: model_poll (when set) is called at every batch boundary;
+// a non-null return swaps the model used for subsequent batches. The
+// caller is responsible for only returning models that pass
+// ValidateReloadedModel — hamlet_serve wires SIGHUP -> load into a
+// fresh slot -> validate -> swap, keeping the old model on any failure.
 
 #ifndef HAMLET_SERVE_SERVER_H_
 #define HAMLET_SERVE_SERVER_H_
 
 #include <cstddef>
+#include <functional>
 #include <iosfwd>
 
 #include "hamlet/common/status.h"
@@ -35,21 +53,58 @@ namespace serve {
 /// default.
 size_t ConfiguredBatchSize();
 
+/// What ServeStream does with a malformed or out-of-domain request line.
+enum class OnError {
+  kEnv,    ///< resolve from HAMLET_SERVE_ON_ERROR (default kAbort)
+  kAbort,  ///< stop the run with a Status naming the line (strict)
+  kSkip,   ///< emit "ERR <line>: <reason>", count it, keep serving
+};
+
+/// Unbounded error tolerance for ServeConfig::max_errors.
+inline constexpr size_t kUnlimitedErrors = static_cast<size_t>(-1);
+
+/// Error policy requested via HAMLET_SERVE_ON_ERROR: "abort" or "skip",
+/// unset for the default (kAbort). Unrecognised values warn on stderr
+/// once per distinct value and fall back to kAbort.
+OnError ConfiguredOnError();
+
+/// Error cap requested via HAMLET_SERVE_MAX_ERRORS: a positive integer,
+/// or unset for unlimited. Invalid values warn once and mean unlimited.
+size_t ConfiguredMaxErrors();
+
 struct ServeConfig {
   /// Rows per PredictAll call; 0 = ConfiguredBatchSize().
   size_t batch_size = 0;
   /// Paint the in-place LiveTicker line on stderr while serving.
   bool live_stats = false;
+  /// Malformed-line policy; kEnv = ConfiguredOnError().
+  OnError on_error = OnError::kEnv;
+  /// Rejected-line budget in kSkip mode; exceeding it aborts the run.
+  /// 0 = ConfiguredMaxErrors() (unlimited when the env is unset too).
+  size_t max_errors = 0;
+  /// Hot-reload hook, called at every batch boundary. A non-null return
+  /// replaces the model for subsequent batches (the previous model must
+  /// stay valid until the call returns). Null = keep serving as-is.
+  std::function<const ml::Classifier*()> model_poll;
 };
 
 /// Serves every request line of `in` against `model`, writing one
-/// prediction per line to `out`. Returns the latency summary on success.
-/// The model must carry train-domain metadata (any model loaded through
-/// io::LoadModel does; a freshly Fit model does too).
+/// output line per request (prediction, or ERR in kSkip mode) to `out`.
+/// Returns the latency/error summary on success. The model must carry
+/// train-domain metadata (any model loaded through io::LoadModel does;
+/// a freshly Fit model does too).
 Result<StatsSummary> ServeStream(const ml::Classifier& model,
                                  std::istream& in, std::ostream& out,
                                  std::ostream& err,
                                  const ServeConfig& config = {});
+
+/// Validate-before-swap check for hot reload: the candidate must carry
+/// train-domain metadata and its domains must match the serving model's
+/// exactly (requests already validated against the old header must stay
+/// valid, and learner tables must match the domain the parser enforces).
+/// OK = safe to swap.
+Status ValidateReloadedModel(const ml::Classifier& current,
+                             const ml::Classifier& candidate);
 
 }  // namespace serve
 }  // namespace hamlet

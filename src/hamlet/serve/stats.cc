@@ -33,10 +33,14 @@ StatsSummary LatencyStats::Summarize() const {
   StatsSummary s;
   s.rows = rows_;
   s.batches = batch_us_.size();
+  s.errors = errors_;
   s.model_seconds = model_seconds_;
   if (model_seconds_ > 0.0) {
     s.preds_per_sec = static_cast<double>(rows_) / model_seconds_;
   }
+  // Zero served batches (all-comment or all-error input): the defaulted
+  // zeros are the summary; don't touch the empty sample vector.
+  if (batch_us_.empty()) return s;
   std::vector<double> sorted = batch_us_;
   std::sort(sorted.begin(), sorted.end());
   s.p50_us = PercentileSorted(sorted, 50.0);
@@ -60,10 +64,11 @@ void LiveTicker::MaybeTick(const LatencyStats& stats) {
   const StatsSummary s = stats.Summarize();
   char line[160];
   std::snprintf(line, sizeof(line),
-                "\rserving: rows=%llu batches=%llu ops/s=%.0f p50=%.0fus "
-                "p99=%.0fus   ",
+                "\rserving: rows=%llu batches=%llu errs=%llu ops/s=%.0f "
+                "p50=%.0fus p99=%.0fus   ",
                 static_cast<unsigned long long>(s.rows),
-                static_cast<unsigned long long>(s.batches), s.preds_per_sec,
+                static_cast<unsigned long long>(s.batches),
+                static_cast<unsigned long long>(s.errors), s.preds_per_sec,
                 s.p50_us, s.p99_us);
   os_ << line << std::flush;
 }

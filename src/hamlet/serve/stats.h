@@ -20,10 +20,14 @@
 namespace hamlet {
 namespace serve {
 
-/// Point-in-time summary of a serving run.
+/// Point-in-time summary of a serving run. With zero successfully
+/// served batches (all-comment or all-error input) every rate and
+/// percentile field is 0.0 — never a divide or an index into an empty
+/// sample vector.
 struct StatsSummary {
   uint64_t rows = 0;
   uint64_t batches = 0;
+  uint64_t errors = 0;         ///< skipped request lines (resilient mode)
   double model_seconds = 0.0;  ///< time inside PredictAll, summed
   double preds_per_sec = 0.0;  ///< rows / model_seconds (0 when no time)
   double p50_us = 0.0;         ///< nearest-rank median batch latency
@@ -34,9 +38,12 @@ struct StatsSummary {
 class LatencyStats {
  public:
   void RecordBatch(size_t rows, double seconds);
+  /// Counts one rejected request line (resilient serving mode).
+  void RecordError() { ++errors_; }
 
   uint64_t rows() const { return rows_; }
   uint64_t batches() const { return batch_us_.size(); }
+  uint64_t errors() const { return errors_; }
 
   /// Sorts a copy of the samples; call at ticks and at the end, not per
   /// batch.
@@ -44,6 +51,7 @@ class LatencyStats {
 
  private:
   uint64_t rows_ = 0;
+  uint64_t errors_ = 0;
   double model_seconds_ = 0.0;
   std::vector<double> batch_us_;
 };

@@ -7,6 +7,7 @@
 #include <numeric>
 #include <set>
 
+#include "hamlet/common/crc32.h"
 #include "hamlet/common/logging.h"
 #include "hamlet/common/rng.h"
 #include "hamlet/common/status.h"
@@ -56,6 +57,36 @@ TEST(StatusTest, CodeNamesAreStable) {
   EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
   EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "NotFound");
   EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "Internal");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDataLoss), "DataLoss");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnavailable), "Unavailable");
+}
+
+TEST(StatusTest, FromCodePreservesTheCode) {
+  const Status st = Status::FromCode(StatusCode::kDataLoss, "bits rotted");
+  EXPECT_EQ(st.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(st.message(), "bits rotted");
+  EXPECT_TRUE(Status::FromCode(StatusCode::kOk, "ignored").ok());
+  EXPECT_EQ(Status::Unavailable("later").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::DataLoss("gone").code(), StatusCode::kDataLoss);
+}
+
+// ----------------------------------------------------------------- crc32 --
+
+TEST(Crc32Test, MatchesTheIeeeCheckValue) {
+  // The canonical CRC-32 check value: crc32("123456789") = 0xCBF43926.
+  EXPECT_EQ(Crc32("123456789", 9), 0xCBF43926u);
+}
+
+TEST(Crc32Test, IncrementalFeedMatchesOneShot) {
+  const char data[] = "hamlet model bytes";
+  const size_t n = sizeof(data) - 1;
+  uint32_t state = kCrc32Init;
+  state = Crc32Feed(state, data, 5);
+  state = Crc32Feed(state, data + 5, n - 5);
+  EXPECT_EQ(Crc32Finalize(state), Crc32(data, n));
+  // Sensitive to every byte.
+  EXPECT_NE(Crc32(data, n), Crc32(data, n - 1));
+  EXPECT_EQ(Crc32("", 0), Crc32Finalize(kCrc32Init));
 }
 
 TEST(ResultTest, HoldsValue) {

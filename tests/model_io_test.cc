@@ -103,9 +103,24 @@ TEST(ModelIoTest, FileRoundTrip) {
             model.PredictAll(views.test));
   std::remove(path.c_str());
 
+  // Failure Statuses name the offending path (and the errno reason), so
+  // an operator reading one log line knows which file to look at.
   const auto missing = io::LoadModelFromFile(path + ".does-not-exist");
   ASSERT_FALSE(missing.ok());
   EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(missing.status().message().find(path + ".does-not-exist"),
+            std::string::npos);
+}
+
+TEST(ModelIoTest, SaveToUnwritablePathNamesThePath) {
+  const Dataset data = MakeParityDataset(60, {3, 2}, 9);
+  ml::MajorityClassifier model;
+  ASSERT_TRUE(model.Fit(DataView(&data)).ok());
+  const std::string path =
+      testing::TempDir() + "/hamlet-no-such-dir/model.hmlm";
+  const Status st = io::SaveModelToFile(model, path);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find(path), std::string::npos);
 }
 
 TEST(ModelIoTest, HeaderBytesArePinnedLittleEndian) {
@@ -114,22 +129,91 @@ TEST(ModelIoTest, HeaderBytesArePinnedLittleEndian) {
   ASSERT_TRUE(model.Fit(DataView(&data)).ok());
   const std::string bytes = SaveToString(model);
 
-  // magic, version=1, family=kMajority(7), domains=[3,2] — byte-exact,
-  // so a model written on any host loads on any other.
+  // magic, version=2, family=kMajority(7), domains=[3,2] — byte-exact,
+  // so a model written on any host loads on any other. v2 appends a
+  // CRC-32 u32 between the body and the footer.
   const unsigned char expected_header[] = {
       'H', 'M', 'L', 'M',       // magic
-      1,   0,   0,   0,         // version u32 LE
+      2,   0,   0,   0,         // version u32 LE
       7,   0,   0,   0,         // family u32 LE
       2,   0,   0,   0, 0, 0, 0, 0,  // domain-count u64 LE
       3,   0,   0,   0,         // domain[0]
       2,   0,   0,   0,         // domain[1]
   };
-  ASSERT_GE(bytes.size(), sizeof(expected_header) + 4);
+  // header + at least the 4-byte checksum + 4-byte footer.
+  ASSERT_GE(bytes.size(), sizeof(expected_header) + 8);
   for (size_t i = 0; i < sizeof(expected_header); ++i) {
     EXPECT_EQ(static_cast<unsigned char>(bytes[i]), expected_header[i])
         << "header byte " << i;
   }
   EXPECT_EQ(bytes.substr(bytes.size() - 4), "MLMH");
+}
+
+/// Rewrites v2 bytes as the v1 layout: version field 1, no checksum
+/// field before the footer. This is byte-exact what PR 6 builds wrote.
+std::string AsV1Bytes(const std::string& v2) {
+  std::string v1 = v2;
+  v1[4] = 1;                          // version u32 LE, low byte
+  v1.erase(v1.size() - 8, 4);         // drop the CRC ahead of the footer
+  return v1;
+}
+
+TEST(ModelIoTest, V1ModelStillLoads) {
+  // Forward compatibility: model files written before the checksum
+  // existed (format v1) must keep loading, with identical predictions.
+  const Dataset data = MakeParityDataset(240, {7, 4, 9, 3, 5}, 17);
+  const auto views = MakeParityViews(data, 18);
+  for (const ParityLearner& learner : SerializableLearners()) {
+    SCOPED_TRACE(learner.name);
+    auto model = learner.make();
+    ASSERT_TRUE(model->Fit(views.train).ok());
+    const std::string v1 = AsV1Bytes(SaveToString(*model));
+    const auto loaded = LoadFromString(v1);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    EXPECT_EQ(loaded.value()->PredictAll(views.test),
+              model->PredictAll(views.test));
+    // Re-saving writes the current (v2) format.
+    EXPECT_EQ(SaveToString(*loaded.value())[4], 2);
+  }
+}
+
+TEST(ModelIoTest, EverySingleBitFlipIsRejected) {
+  // Bit-rot detection: flip each bit of the stream in turn; every
+  // variant must fail to load. Flips inside the checksummed region
+  // (family tag through body) that survive structural validation
+  // surface as kDataLoss; flips the reader rejects structurally keep
+  // their original codes. Not one flip may load silently.
+  const Dataset data = MakeParityDataset(60, {3, 2}, 9);
+  ml::MajorityClassifier model;
+  ASSERT_TRUE(model.Fit(DataView(&data)).ok());
+  const std::string bytes = SaveToString(model);
+
+  size_t dataloss = 0;
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string bad = bytes;
+      bad[i] = static_cast<char>(bad[i] ^ (1 << bit));
+      const auto loaded = LoadFromString(bad);
+      ASSERT_FALSE(loaded.ok()) << "byte " << i << " bit " << bit;
+      if (loaded.status().code() == StatusCode::kDataLoss) ++dataloss;
+    }
+  }
+  // The CRC must be doing real work: a healthy share of the flips are
+  // only catchable by the checksum.
+  EXPECT_GT(dataloss, 0u);
+}
+
+TEST(ModelIoTest, ChecksumFieldFlipIsDataLoss) {
+  const Dataset data = MakeParityDataset(60, {3, 2}, 9);
+  ml::MajorityClassifier model;
+  ASSERT_TRUE(model.Fit(DataView(&data)).ok());
+  std::string bytes = SaveToString(model);
+  // The stored CRC sits in the 4 bytes ahead of the 4-byte footer.
+  bytes[bytes.size() - 8] = static_cast<char>(bytes[bytes.size() - 8] ^ 1);
+  const auto loaded = LoadFromString(bytes);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(loaded.status().message().find("checksum"), std::string::npos);
 }
 
 TEST(ModelIoTest, SaveBeforeFitFails) {

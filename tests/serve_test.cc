@@ -180,5 +180,214 @@ TEST(ServeTest, StatsSummaryPercentilesAreNearestRank) {
   EXPECT_GT(s.preds_per_sec, 0.0);
 }
 
+TEST(ServeTest, ZeroBatchSummaryIsAllZeros) {
+  // No served batches (empty stream, all-comment stream, all-error
+  // stream): every summary field must be a plain zero — no NaN from
+  // 0/0, no garbage percentile from an empty sample vector.
+  serve::LatencyStats stats;
+  stats.RecordError();
+  const serve::StatsSummary s = stats.Summarize();
+  EXPECT_EQ(s.rows, 0u);
+  EXPECT_EQ(s.batches, 0u);
+  EXPECT_EQ(s.errors, 1u);
+  EXPECT_EQ(s.model_seconds, 0.0);
+  EXPECT_EQ(s.preds_per_sec, 0.0);
+  EXPECT_EQ(s.p50_us, 0.0);
+  EXPECT_EQ(s.p99_us, 0.0);
+}
+
+/// Splits serve output into its lines (predictions and ERR lines).
+std::vector<std::string> OutputLines(const std::string& out) {
+  std::vector<std::string> lines;
+  std::istringstream is(out);
+  std::string line;
+  while (std::getline(is, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(ServeTest, ResilientModeEmitsErrLinesInRequestOrder) {
+  const Dataset data = MakeParityDataset(80, {5, 4}, 7);
+  ml::MajorityClassifier model;
+  ASSERT_TRUE(model.Fit(DataView(&data)).ok());
+
+  // Good and bad lines interleaved; one output line per request, in
+  // request order, even though predictions flush in batches.
+  std::istringstream in(
+      "1 2\n"
+      "oops\n"   // line 2: non-numeric
+      "3 1\n"
+      "9 2\n"    // line 4: out of domain
+      "0 3\n");
+  std::ostringstream out, err;
+  serve::ServeConfig config;
+  config.batch_size = 64;  // all valid rows would fit one batch
+  config.on_error = serve::OnError::kSkip;
+  const auto summary = serve::ServeStream(model, in, out, err, config);
+  ASSERT_TRUE(summary.ok()) << summary.status().ToString();
+  EXPECT_EQ(summary.value().rows, 3u);
+  EXPECT_EQ(summary.value().errors, 2u);
+
+  const std::vector<std::string> lines = OutputLines(out.str());
+  ASSERT_EQ(lines.size(), 5u);
+  EXPECT_TRUE(lines[0] == "0" || lines[0] == "1");
+  EXPECT_EQ(lines[1].rfind("ERR 2: ", 0), 0u) << lines[1];
+  EXPECT_NE(lines[1].find("unsigned integer"), std::string::npos);
+  EXPECT_TRUE(lines[2] == "0" || lines[2] == "1");
+  EXPECT_EQ(lines[3].rfind("ERR 4: ", 0), 0u) << lines[3];
+  EXPECT_NE(lines[3].find("domain"), std::string::npos);
+  EXPECT_TRUE(lines[4] == "0" || lines[4] == "1");
+}
+
+TEST(ServeTest, ResilientModeAllErrorStreamServesZeroRows) {
+  const Dataset data = MakeParityDataset(80, {5, 4}, 7);
+  ml::MajorityClassifier model;
+  ASSERT_TRUE(model.Fit(DataView(&data)).ok());
+
+  std::istringstream in("bad\nalso bad\n");
+  std::ostringstream out, err;
+  serve::ServeConfig config;
+  config.on_error = serve::OnError::kSkip;
+  const auto summary = serve::ServeStream(model, in, out, err, config);
+  ASSERT_TRUE(summary.ok()) << summary.status().ToString();
+  EXPECT_EQ(summary.value().rows, 0u);
+  EXPECT_EQ(summary.value().batches, 0u);
+  EXPECT_EQ(summary.value().errors, 2u);
+  EXPECT_EQ(summary.value().preds_per_sec, 0.0);
+  const std::vector<std::string> lines = OutputLines(out.str());
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0].rfind("ERR 1: ", 0), 0u);
+  EXPECT_EQ(lines[1].rfind("ERR 2: ", 0), 0u);
+}
+
+TEST(ServeTest, ErrorBudgetAbortsTheRun) {
+  const Dataset data = MakeParityDataset(80, {5, 4}, 7);
+  ml::MajorityClassifier model;
+  ASSERT_TRUE(model.Fit(DataView(&data)).ok());
+
+  std::istringstream in("bad1\n1 2\nbad2\nbad3\n2 3\n");
+  std::ostringstream out, err;
+  serve::ServeConfig config;
+  config.on_error = serve::OnError::kSkip;
+  config.max_errors = 2;
+  const auto summary = serve::ServeStream(model, in, out, err, config);
+  ASSERT_FALSE(summary.ok());
+  EXPECT_EQ(summary.status().code(), StatusCode::kOutOfRange);
+  EXPECT_NE(summary.status().message().find("error budget exceeded"),
+            std::string::npos);
+  // The first two rejects still produced ERR lines before the abort.
+  const std::vector<std::string> lines = OutputLines(out.str());
+  ASSERT_GE(lines.size(), 2u);
+  EXPECT_EQ(lines[0].rfind("ERR 1: ", 0), 0u);
+}
+
+TEST(ServeTest, OnErrorEnvKnobs) {
+  {
+    ScopedEnvVar env("HAMLET_SERVE_ON_ERROR", "skip");
+    EXPECT_EQ(serve::ConfiguredOnError(), serve::OnError::kSkip);
+  }
+  {
+    ScopedEnvVar env("HAMLET_SERVE_ON_ERROR", "abort");
+    EXPECT_EQ(serve::ConfiguredOnError(), serve::OnError::kAbort);
+  }
+  {
+    ScopedEnvVar env("HAMLET_SERVE_ON_ERROR", nullptr);
+    EXPECT_EQ(serve::ConfiguredOnError(), serve::OnError::kAbort);
+  }
+  {
+    // Invalid values warn (once) and fall back to strict.
+    ScopedEnvVar env("HAMLET_SERVE_ON_ERROR", "retry");
+    EXPECT_EQ(serve::ConfiguredOnError(), serve::OnError::kAbort);
+  }
+  {
+    ScopedEnvVar env("HAMLET_SERVE_MAX_ERRORS", "3");
+    EXPECT_EQ(serve::ConfiguredMaxErrors(), 3u);
+  }
+  {
+    ScopedEnvVar env("HAMLET_SERVE_MAX_ERRORS", nullptr);
+    EXPECT_EQ(serve::ConfiguredMaxErrors(), serve::kUnlimitedErrors);
+  }
+  {
+    ScopedEnvVar env("HAMLET_SERVE_MAX_ERRORS", "-1");
+    EXPECT_EQ(serve::ConfiguredMaxErrors(), serve::kUnlimitedErrors);
+  }
+
+  // The env drives ServeStream end to end when the config says kEnv.
+  const Dataset data = MakeParityDataset(80, {5, 4}, 7);
+  ml::MajorityClassifier model;
+  ASSERT_TRUE(model.Fit(DataView(&data)).ok());
+  ScopedEnvVar env("HAMLET_SERVE_ON_ERROR", "skip");
+  std::istringstream in("nope\n1 2\n");
+  std::ostringstream out, err;
+  const auto summary = serve::ServeStream(model, in, out, err);
+  ASSERT_TRUE(summary.ok()) << summary.status().ToString();
+  EXPECT_EQ(summary.value().errors, 1u);
+  EXPECT_EQ(summary.value().rows, 1u);
+}
+
+/// Fits a MajorityClassifier over domains {5, 4} whose constant
+/// prediction is `label`.
+std::unique_ptr<ml::MajorityClassifier> MakeConstantModel(uint8_t label) {
+  std::vector<FeatureSpec> specs(2);
+  specs[0] = {"f0", 5, FeatureRole::kHome};
+  specs[1] = {"f1", 4, FeatureRole::kHome};
+  Dataset data(std::move(specs));
+  data.Reserve(8);
+  for (size_t i = 0; i < 8; ++i) {
+    data.AppendRowUnchecked({static_cast<uint32_t>(i % 5),
+                             static_cast<uint32_t>(i % 4)},
+                            label);
+  }
+  auto model = std::make_unique<ml::MajorityClassifier>();
+  EXPECT_TRUE(model->Fit(DataView(&data)).ok());
+  return model;
+}
+
+TEST(ServeTest, ModelPollHotSwapsAtBatchBoundary) {
+  auto model_a = MakeConstantModel(0);
+  auto model_b = MakeConstantModel(1);
+
+  // Six requests, batch size 2: poll fires at each of the three batch
+  // boundaries; the second poll swaps in model B mid-stream.
+  std::istringstream in("1 2\n3 1\n0 3\n2 0\n4 1\n1 1\n");
+  std::ostringstream out, err;
+  serve::ServeConfig config;
+  config.batch_size = 2;
+  size_t polls = 0;
+  config.model_poll = [&]() -> const ml::Classifier* {
+    ++polls;
+    return polls == 2 ? model_b.get() : nullptr;
+  };
+  const auto summary = serve::ServeStream(*model_a, in, out, err, config);
+  ASSERT_TRUE(summary.ok()) << summary.status().ToString();
+  EXPECT_EQ(polls, 3u);
+  EXPECT_EQ(summary.value().rows, 6u);
+  // Batch 1 served by A (label 0), batches 2 and 3 by B (label 1).
+  EXPECT_EQ(OutputLines(out.str()),
+            (std::vector<std::string>{"0", "0", "1", "1", "1", "1"}));
+}
+
+TEST(ServeTest, ValidateReloadedModelChecksDomains) {
+  auto current = MakeConstantModel(0);
+
+  // Identical domains: safe to swap.
+  EXPECT_TRUE(
+      serve::ValidateReloadedModel(*current, *MakeConstantModel(1)).ok());
+
+  // Unfitted candidate: no metadata, rejected.
+  ml::MajorityClassifier unfitted;
+  const Status no_meta = serve::ValidateReloadedModel(*current, unfitted);
+  ASSERT_FALSE(no_meta.ok());
+  EXPECT_EQ(no_meta.code(), StatusCode::kFailedPrecondition);
+
+  // Differently-shaped candidate: rejected, old model kept.
+  const Dataset other = MakeParityDataset(60, {3, 2, 6}, 11);
+  ml::MajorityClassifier mismatched;
+  ASSERT_TRUE(mismatched.Fit(DataView(&other)).ok());
+  const Status st = serve::ValidateReloadedModel(*current, mismatched);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(st.message().find("keeping the old model"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace hamlet
