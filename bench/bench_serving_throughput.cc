@@ -17,12 +17,24 @@
 // bench feeds pre-validated batches, so it reports the StatsSummary
 // counter (0 unless a run goes wrong) to keep the line schema identical
 // to hamlet_serve's [serve] line fields.
+//
+// A socket section follows (model=net-<family>): the same query stream
+// served end to end through the serve/net TCP front-end — four
+// concurrent line-protocol connections multiplexed onto shared batches.
+// seconds/preds_per_sec there are wall-clock (parse + batching + socket
+// I/O included), so the gap between net-<family> and <family> is the
+// transport + framing overhead; p50/p99 remain per-batch model time
+// from the server's own stats.
+
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <chrono>
 #include <cstdio>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "hamlet/common/rng.h"
@@ -37,6 +49,8 @@
 #include "hamlet/ml/nb/naive_bayes.h"
 #include "hamlet/ml/svm/svm.h"
 #include "hamlet/ml/tree/decision_tree.h"
+#include "hamlet/serve/net/net_server.h"
+#include "hamlet/serve/net/socket.h"
 #include "hamlet/serve/server.h"
 #include "hamlet/serve/stats.h"
 #include "bench_util.h"
@@ -157,6 +171,130 @@ void ScoreBatched(const ml::Classifier& model, const DataView& query,
   }
 }
 
+/// Renders `view` as request lines in the serve wire format, ready to
+/// stream down a client connection.
+std::string RenderRequests(const DataView& view) {
+  std::string out;
+  out.reserve(view.num_rows() * view.num_features() * 3);
+  char buf[16];
+  for (size_t i = 0; i < view.num_rows(); ++i) {
+    for (size_t j = 0; j < view.num_features(); ++j) {
+      std::snprintf(buf, sizeof(buf), "%u", view.feature(i, j));
+      if (j > 0) out += ' ';
+      out += buf;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+/// One full client exchange against the bench server: stream every
+/// request, half-close, read responses to EOF. Returns the number of
+/// response lines (predictions) received.
+size_t DriveClient(uint16_t port, const std::string& requests) {
+  auto sock = serve::net::ConnectTcp("127.0.0.1", port);
+  if (!sock.ok()) return 0;
+  const int fd = sock.value().fd();
+  // Writer thread: with megabytes in flight both kernel buffers fill,
+  // so a send-all-then-read-all client would deadlock the exchange.
+  std::thread writer([fd, &requests] {
+    (void)serve::net::SendAll(fd, requests.data(), requests.size());
+    ::shutdown(fd, SHUT_WR);
+  });
+  size_t lines = 0;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof(buf))) > 0) {
+    for (ssize_t i = 0; i < n; ++i) {
+      if (buf[i] == '\n') ++lines;
+    }
+  }
+  writer.join();
+  return lines;
+}
+
+/// End-to-end socket serving: `runs` rounds of four concurrent client
+/// connections streaming `requests` through a NetServer over `model`.
+/// Appends a "[serving] model=net-<label> ..." line on success.
+void BenchSocketServing(const char* label, const ml::Classifier& model,
+                        const std::string& requests, size_t expected_rows,
+                        size_t runs, size_t batch_size,
+                        std::vector<std::string>& lines) {
+  constexpr size_t kClients = 4;
+  serve::net::NetServeConfig config;
+  config.batch_size = batch_size;
+  serve::net::NetServer server(model, config);
+  const Status started = server.Start();
+  if (!started.ok()) {
+    std::printf("net-%s: listen failed: %s\n", label,
+                started.ToString().c_str());
+    bench::ReportFailure();
+    return;
+  }
+  std::ostringstream server_log;
+  Result<serve::StatsSummary> summary =
+      Status::Internal("server never ran");
+  std::thread runner(
+      [&server, &server_log, &summary] { summary = server.Run(server_log); });
+
+  // Warm-up round (acceptor, pool, allocator), then the measured rounds.
+  DriveClient(server.port(), requests);
+  size_t received = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (size_t r = 0; r < runs; ++r) {
+    std::vector<std::thread> clients;
+    std::vector<size_t> counts(kClients, 0);
+    clients.reserve(kClients);
+    for (size_t c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        counts[c] = DriveClient(server.port(), requests);
+      });
+    }
+    for (std::thread& t : clients) t.join();
+    for (size_t c = 0; c < kClients; ++c) received += counts[c];
+  }
+  const std::chrono::duration<double> wall =
+      std::chrono::steady_clock::now() - t0;
+
+  server.RequestShutdown();
+  runner.join();
+  if (!summary.ok()) {
+    std::printf("net-%s: serving failed: %s\n", label,
+                summary.status().ToString().c_str());
+    bench::ReportFailure();
+    return;
+  }
+  const size_t measured_rows = runs * kClients * expected_rows;
+  if (received != measured_rows) {
+    std::printf("net-%s: expected %zu responses, got %zu\n", label,
+                measured_rows, received);
+    bench::ReportFailure();
+    return;
+  }
+  const serve::StatsSummary s = summary.value();
+
+  char row[256];
+  std::snprintf(row, sizeof(row), "%.0f",
+                static_cast<double>(measured_rows) / wall.count());
+  char net_label[64];
+  std::snprintf(net_label, sizeof(net_label), "net-%s", label);
+  bench::PrintRow({net_label, row,
+                   std::to_string(static_cast<long>(s.p50_us)),
+                   std::to_string(static_cast<long>(s.p99_us)), "-"},
+                  12);
+
+  // Wall-clock rate: rows include the warm-up round in s.rows, so use
+  // the measured count; p50/p99 stay per-batch model time.
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "[serving] model=net-%s rows=%zu runs=%zu seconds=%.6f "
+                "preds_per_sec=%.1f p50_us=%.1f p99_us=%.1f errors=%llu",
+                label, measured_rows, runs, wall.count(),
+                static_cast<double>(measured_rows) / wall.count(), s.p50_us,
+                s.p99_us, static_cast<unsigned long long>(s.errors));
+  lines.push_back(line);
+}
+
 }  // namespace
 }  // namespace hamlet
 
@@ -232,6 +370,16 @@ int main() {
                   s.model_seconds, s.preds_per_sec, s.p50_us, s.p99_us,
                   static_cast<unsigned long long>(s.errors));
     lines.push_back(line);
+
+    // Socket section for the cheapest and a representative tree model:
+    // net-majority isolates transport + framing cost (the model is a
+    // constant), net-dt-gini shows it against a real serving family.
+    const std::string family(learner.label);
+    if (family == "dt-gini" || family == "majority") {
+      BenchSocketServing(learner.label, *loaded.value(),
+                         RenderRequests(query), query.num_rows(),
+                         sizes.runs, batch_size, lines);
+    }
   }
 
   std::printf("\n");

@@ -125,4 +125,107 @@ if(NOT last_line MATCHES "^ERR 102: ")
   message(FATAL_ERROR "serve smoke: expected 'ERR 102: ...' last, got '${last_line}'")
 endif()
 
+# ---- bad-seed guard: --emit-requests must reject a garbage seed ----
+# (strtoull used to turn "banana" into seed 0 silently, quietly
+# reproducing the wrong request stream.)
+execute_process(
+  COMMAND "${SERVE_BIN}" --emit-requests "${model}" "5" "banana"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE seed_out
+  ERROR_VARIABLE seed_err
+)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "serve smoke: --emit-requests accepted garbage seed 'banana'")
+endif()
+if(NOT seed_err MATCHES "bad request seed")
+  message(FATAL_ERROR "serve smoke: bad-seed failure lacks a clear message:\n${seed_err}")
+endif()
+
+# ---- socket pass: the TCP front-end against the same fixtures ----
+# Start `--listen 0` in the background (execute_process is synchronous,
+# so the server goes through sh), parse the announced ephemeral port,
+# drive concurrent --client runs, probe /healthz, then SIGTERM and
+# check the graceful-shutdown summary.
+set(server_err_file "${WORK_DIR}/smoke_${FAMILY}_server_err.txt")
+set(stdin_out_file "${WORK_DIR}/smoke_${FAMILY}_stdin_out.txt")
+file(WRITE "${stdin_out_file}" "${serve_out}")
+
+execute_process(
+  COMMAND sh -c "'${SERVE_BIN}' --listen 0 '${model}' > /dev/null 2> '${server_err_file}' & echo $!"
+  OUTPUT_VARIABLE server_pid
+  RESULT_VARIABLE rc
+)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "serve smoke: failed to launch --listen server (${rc})")
+endif()
+string(STRIP "${server_pid}" server_pid)
+
+# Kills the background server before failing, so a broken smoke does
+# not leak a listener into the CI machine.
+macro(socket_fatal msg)
+  execute_process(COMMAND sh -c "kill -9 ${server_pid} 2> /dev/null || true")
+  message(FATAL_ERROR "${msg}")
+endmacro()
+
+# Wait for the port announcement (the server prints it once bound).
+set(port "")
+foreach(attempt RANGE 100)
+  if(EXISTS "${server_err_file}")
+    file(READ "${server_err_file}" server_banner)
+    if(server_banner MATCHES "listening on port ([0-9]+)")
+      set(port "${CMAKE_MATCH_1}")
+      break()
+    endif()
+  endif()
+  execute_process(COMMAND "${CMAKE_COMMAND}" -E sleep 0.1)
+endforeach()
+if(port STREQUAL "")
+  socket_fatal("serve smoke: server never announced its port")
+endif()
+
+# Three concurrent clients streaming the same requests: each response
+# stream must be bit-identical to the stdin path's output.
+execute_process(
+  COMMAND sh -c "'${SERVE_BIN}' --client 127.0.0.1:${port} '${requests}' > '${WORK_DIR}/smoke_${FAMILY}_client_1.txt' & '${SERVE_BIN}' --client 127.0.0.1:${port} '${requests}' > '${WORK_DIR}/smoke_${FAMILY}_client_2.txt' & '${SERVE_BIN}' --client 127.0.0.1:${port} '${requests}' > '${WORK_DIR}/smoke_${FAMILY}_client_3.txt' & wait"
+  RESULT_VARIABLE rc
+  ERROR_VARIABLE clients_err
+)
+if(NOT rc EQUAL 0)
+  socket_fatal("serve smoke: --client run failed (${rc}): ${clients_err}")
+endif()
+foreach(client_idx 1 2 3)
+  execute_process(
+    COMMAND "${CMAKE_COMMAND}" -E compare_files
+            "${stdin_out_file}" "${WORK_DIR}/smoke_${FAMILY}_client_${client_idx}.txt"
+    RESULT_VARIABLE rc
+  )
+  if(NOT rc EQUAL 0)
+    socket_fatal("serve smoke: client ${client_idx} responses differ from the stdin path")
+  endif()
+endforeach()
+
+# The health probe answers while the server is serving.
+execute_process(
+  COMMAND sh -c "echo /healthz | '${SERVE_BIN}' --client 127.0.0.1:${port}"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE health_out
+)
+if(NOT rc EQUAL 0 OR NOT health_out MATCHES "^OK model=[^ ]+ rows=[0-9]+ errors=[0-9]+")
+  socket_fatal("serve smoke: /healthz probe failed (${rc}): ${health_out}")
+endif()
+
+# Graceful shutdown: SIGTERM, wait for exit, then the stderr log must
+# end with a well-formed summary covering all three clients' rows.
+execute_process(
+  COMMAND sh -c "kill -TERM ${server_pid} && for i in $(seq 50); do kill -0 ${server_pid} 2> /dev/null || exit 0; sleep 0.1; done; exit 1"
+  RESULT_VARIABLE rc
+)
+if(NOT rc EQUAL 0)
+  socket_fatal("serve smoke: server did not exit within 5s of SIGTERM")
+endif()
+file(READ "${server_err_file}" net_err)
+if(NOT net_err MATCHES "\\[serve\\] model=[^ ]+ rows=300 batches=[0-9]+ errors=0 model_seconds=[0-9.]+ preds_per_sec=[0-9.]+ p50_us=[0-9.]+ p99_us=[0-9.]+")
+  message(FATAL_ERROR "serve smoke: socket shutdown summary missing or malformed:\n${net_err}")
+endif()
+
 message("serve smoke (${FAMILY}): OK — ${serve_err}")

@@ -51,4 +51,23 @@ std::string PadLeft(const std::string& s, size_t width) {
   return std::string(width - s.size(), ' ') + s;
 }
 
+Result<uint64_t> ParseUnsigned(const std::string& s) {
+  if (s.empty()) {
+    return Status::InvalidArgument("expected an unsigned integer, got \"\"");
+  }
+  uint64_t value = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument(
+          "expected an unsigned integer, got \"" + s + "\"");
+    }
+    const uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) {
+      return Status::OutOfRange("\"" + s + "\" overflows 64 bits");
+    }
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
 }  // namespace hamlet

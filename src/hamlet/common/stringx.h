@@ -3,8 +3,11 @@
 #ifndef HAMLET_COMMON_STRINGX_H_
 #define HAMLET_COMMON_STRINGX_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
+
+#include "hamlet/common/status.h"
 
 namespace hamlet {
 
@@ -24,6 +27,12 @@ std::string FormatDouble(double v, int precision);
 /// Left-pads/truncates `s` to exactly `width` columns (for table printing).
 std::string PadRight(const std::string& s, size_t width);
 std::string PadLeft(const std::string& s, size_t width);
+
+/// Strict base-10 unsigned parse: the whole string must be digits (no
+/// sign, whitespace, or suffix — strtoull's silent acceptance of "-1"
+/// and "12abc" is exactly what this guards against). Overflow past
+/// 2^64-1 is rejected. The error message names the offending string.
+Result<uint64_t> ParseUnsigned(const std::string& s);
 
 }  // namespace hamlet
 

@@ -9,12 +9,30 @@
 //
 //       HAMLET_SERVE_ON_ERROR=skip turns on resilient mode: malformed
 //       request lines become in-order "ERR <line>: <reason>" output
-//       lines (bounded by HAMLET_SERVE_MAX_ERRORS) instead of aborting.
+//       lines (bounded by HAMLET_SERVE_MAX_ERRORS; 0 = tolerate none)
+//       instead of aborting.
 //
 //       SIGHUP hot-reloads the model: the file is re-read into a fresh
 //       slot and swapped in at the next batch boundary only if it loads
 //       cleanly and its feature domains match; on any failure the old
 //       model keeps serving (a line on stderr says which happened).
+//
+//   hamlet_serve --listen <port> <model-file>
+//       TCP front-end on 127.0.0.1:<port> (0 = OS-assigned; the bound
+//       port is announced on stderr as "listening on port N").
+//       Concurrent connections speak the same line protocol and are
+//       multiplexed onto shared HAMLET_SERVE_BATCH batches; each
+//       connection gets per-connection error isolation (skip
+//       semantics, budget HAMLET_SERVE_MAX_ERRORS) and "/healthz"
+//       answers a one-line status. SIGHUP hot-reloads as above;
+//       SIGINT/SIGTERM shut down gracefully: drain received requests,
+//       answer them, print the "[serve]" summary, exit 0.
+//
+//   hamlet_serve --client <host>:<port> [requests-file]
+//       Minimal line-protocol client: stream the request file (or
+//       stdin) to the server, print response lines to stdout until the
+//       server's EOF. Output is bit-identical to serving the same file
+//       through the stdin path.
 //
 //   hamlet_serve --train-demo <model-file> [family]
 //       Fit a small deterministic synthetic model of the given family
@@ -35,13 +53,16 @@
 #include <iostream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include "hamlet/common/rng.h"
 #include "hamlet/common/status.h"
+#include "hamlet/common/stringx.h"
 #include "hamlet/data/dataset.h"
 #include "hamlet/data/view.h"
 #include "hamlet/io/serialize.h"
@@ -53,6 +74,8 @@
 #include "hamlet/ml/nb/naive_bayes.h"
 #include "hamlet/ml/svm/svm.h"
 #include "hamlet/ml/tree/decision_tree.h"
+#include "hamlet/serve/net/net_server.h"
+#include "hamlet/serve/net/socket.h"
 #include "hamlet/serve/server.h"
 
 namespace {
@@ -61,6 +84,7 @@ using hamlet::DataView;
 using hamlet::Dataset;
 using hamlet::FeatureRole;
 using hamlet::FeatureSpec;
+using hamlet::ParseUnsigned;
 using hamlet::Result;
 using hamlet::Rng;
 using hamlet::Status;
@@ -72,24 +96,29 @@ int Fail(const Status& st) {
 
 /// SIGHUP = hot-reload request, consumed at the next batch boundary.
 volatile std::sig_atomic_t g_reload_requested = 0;
+/// SIGINT/SIGTERM = graceful shutdown request (socket mode).
+volatile std::sig_atomic_t g_shutdown_requested = 0;
 
 extern "C" void OnSighup(int) { g_reload_requested = 1; }
+extern "C" void OnShutdownSignal(int) { g_shutdown_requested = 1; }
 
-void InstallSighupHandler() {
+void InstallHandler(int signum, void (*handler)(int)) {
   struct sigaction sa;
   std::memset(&sa, 0, sizeof(sa));
-  sa.sa_handler = OnSighup;
+  sa.sa_handler = handler;
   sigemptyset(&sa.sa_mask);
-  // SA_RESTART: a reload request must not error out a blocking stdin
-  // read; the swap waits for the next batch boundary instead.
+  // SA_RESTART: a signal must not error out a blocking read; the
+  // serving loops notice the flag at their next poll instead.
   sa.sa_flags = SA_RESTART;
-  sigaction(SIGHUP, &sa, nullptr);
+  sigaction(signum, &sa, nullptr);
 }
 
 int Usage() {
   std::fprintf(
       stderr,
       "usage: hamlet_serve <model-file> [requests-file]\n"
+      "       hamlet_serve --listen <port> <model-file>\n"
+      "       hamlet_serve --client <host>:<port> [requests-file]\n"
       "       hamlet_serve --train-demo <model-file> [family]\n"
       "       hamlet_serve --emit-requests <model-file> <n> [seed]\n"
       "families: dt nb logreg svm-linear svm-rbf 1nn mlp majority\n");
@@ -176,21 +205,32 @@ int TrainDemo(const std::string& path, const std::string& family) {
 
 int EmitRequests(const std::string& path, const std::string& count_arg,
                  const std::string& seed_arg) {
-  char* end = nullptr;
-  const long n = std::strtol(count_arg.c_str(), &end, 10);
-  if (end == count_arg.c_str() || *end != '\0' || n < 1) {
-    return Fail(Status::InvalidArgument("bad request count \"" + count_arg +
-                                        "\""));
+  const Result<uint64_t> n = ParseUnsigned(count_arg);
+  if (!n.ok() || n.value() < 1) {
+    return Fail(Status::InvalidArgument(
+        "bad request count \"" + count_arg + "\" (want a positive integer)"));
   }
-  const uint64_t seed =
-      seed_arg.empty() ? 1234u : std::strtoull(seed_arg.c_str(), nullptr, 10);
+  // The seed gets the same strict parse as the count: strtoull's old
+  // nullptr-endptr call silently turned "banana" into 0, which makes a
+  // typo reproduce the wrong stream instead of failing.
+  uint64_t seed = 1234;
+  if (!seed_arg.empty()) {
+    const Result<uint64_t> parsed_seed = ParseUnsigned(seed_arg);
+    if (!parsed_seed.ok()) {
+      return Fail(Status::InvalidArgument(
+          "bad request seed \"" + seed_arg +
+          "\" (want an unsigned integer): " +
+          parsed_seed.status().message()));
+    }
+    seed = parsed_seed.value();
+  }
   Result<std::unique_ptr<hamlet::ml::Classifier>> model =
       hamlet::io::LoadModelFromFile(path);
   if (!model.ok()) return Fail(model.status());
   const std::vector<uint32_t>& domains =
       model.value()->train_domain_sizes();
   Rng rng(seed);
-  for (long i = 0; i < n; ++i) {
+  for (uint64_t i = 0; i < n.value(); ++i) {
     for (size_t j = 0; j < domains.size(); ++j) {
       if (j > 0) std::fputc(' ', stdout);
       std::fprintf(stdout, "%llu",
@@ -202,30 +242,15 @@ int EmitRequests(const std::string& path, const std::string& count_arg,
   return 0;
 }
 
-int Serve(const std::string& model_path, const std::string& requests_path) {
-  Result<std::unique_ptr<hamlet::ml::Classifier>> loaded =
-      hamlet::io::LoadModelFromFileWithRetry(model_path);
-  if (!loaded.ok()) return Fail(loaded.status());
-  // The serving slot: hot reload swaps a validated fresh model in here;
-  // ServeStream picks the new pointer up at the next batch boundary.
-  std::unique_ptr<hamlet::ml::Classifier> current =
-      std::move(loaded).value();
-
-  std::ifstream file;
-  if (!requests_path.empty()) {
-    file.open(requests_path);
-    if (!file) {
-      return Fail(Status::NotFound("cannot open requests file: " +
-                                   requests_path));
-    }
-  }
-  std::istream& in = requests_path.empty() ? std::cin : file;
-
-  InstallSighupHandler();
-
-  hamlet::serve::ServeConfig config;
-  config.live_stats = isatty(2) != 0;
-  config.model_poll = [&]() -> const hamlet::ml::Classifier* {
+/// The SIGHUP hot-reload hook shared by the stdin and socket servers:
+/// re-read the model file, validate it against the serving model, and
+/// swap through the ModelSlot — which keeps the displaced model alive
+/// until the *next* swap, honouring the model_poll lifetime contract
+/// (the serving loop's previous model must stay valid until the poll
+/// call returns).
+std::function<const hamlet::ml::Classifier*()> MakeReloadPoll(
+    hamlet::serve::ModelSlot& slot, const std::string& model_path) {
+  return [&slot, model_path]() -> const hamlet::ml::Classifier* {
     if (g_reload_requested == 0) return nullptr;
     g_reload_requested = 0;
     auto fresh = hamlet::io::LoadModelFromFileWithRetry(model_path);
@@ -237,7 +262,7 @@ int Serve(const std::string& model_path, const std::string& requests_path) {
       return nullptr;
     }
     const Status valid =
-        hamlet::serve::ValidateReloadedModel(*current, *fresh.value());
+        hamlet::serve::ValidateReloadedModel(*slot.current(), *fresh.value());
     if (!valid.ok()) {
       std::fprintf(stderr,
                    "hamlet_serve: reload rejected (%s); keeping the current "
@@ -245,28 +270,146 @@ int Serve(const std::string& model_path, const std::string& requests_path) {
                    valid.ToString().c_str());
       return nullptr;
     }
-    current = std::move(fresh).value();
+    const hamlet::ml::Classifier* swapped =
+        slot.Swap(std::move(fresh).value());
     std::fprintf(stderr, "hamlet_serve: reloaded model %s from %s\n",
-                 current->name().c_str(), model_path.c_str());
-    return current.get();
+                 swapped->name().c_str(), model_path.c_str());
+    return swapped;
   };
+}
 
-  Result<hamlet::serve::StatsSummary> summary =
-      hamlet::serve::ServeStream(*current, in, std::cout, std::cerr, config);
-  if (!summary.ok()) return Fail(summary.status());
-
-  const hamlet::serve::StatsSummary& s = summary.value();
+void PrintServeSummary(const hamlet::serve::StatsSummary& s,
+                       const std::string& model_name) {
   // Machine-parseable run summary; keep key=value, space-separated
   // (bench/run_all.py-style contract, asserted by the serve smoke test).
   std::fprintf(stderr,
                "[serve] model=%s rows=%llu batches=%llu errors=%llu "
                "model_seconds=%.6f preds_per_sec=%.1f p50_us=%.1f "
                "p99_us=%.1f\n",
-               current->name().c_str(),
+               model_name.c_str(),
                static_cast<unsigned long long>(s.rows),
                static_cast<unsigned long long>(s.batches),
                static_cast<unsigned long long>(s.errors), s.model_seconds,
                s.preds_per_sec, s.p50_us, s.p99_us);
+}
+
+int Serve(const std::string& model_path, const std::string& requests_path) {
+  Result<std::unique_ptr<hamlet::ml::Classifier>> loaded =
+      hamlet::io::LoadModelFromFileWithRetry(model_path);
+  if (!loaded.ok()) return Fail(loaded.status());
+  // The serving slot: hot reload swaps a validated fresh model in here;
+  // ServeStream picks the new pointer up at the next batch boundary.
+  hamlet::serve::ModelSlot slot(std::move(loaded).value());
+
+  std::ifstream file;
+  if (!requests_path.empty()) {
+    file.open(requests_path);
+    if (!file) {
+      return Fail(Status::NotFound("cannot open requests file: " +
+                                   requests_path));
+    }
+  }
+  std::istream& in = requests_path.empty() ? std::cin : file;
+
+  InstallHandler(SIGHUP, OnSighup);
+
+  hamlet::serve::ServeConfig config;
+  config.live_stats = isatty(2) != 0;
+  config.model_poll = MakeReloadPoll(slot, model_path);
+
+  Result<hamlet::serve::StatsSummary> summary = hamlet::serve::ServeStream(
+      *slot.current(), in, std::cout, std::cerr, config);
+  if (!summary.ok()) return Fail(summary.status());
+  PrintServeSummary(summary.value(), slot.current()->name());
+  return 0;
+}
+
+int Listen(const std::string& port_arg, const std::string& model_path) {
+  const Result<uint64_t> port = ParseUnsigned(port_arg);
+  if (!port.ok() || port.value() > 65535) {
+    return Fail(Status::InvalidArgument("bad port \"" + port_arg +
+                                        "\" (want an integer in "
+                                        "[0, 65535]; 0 = OS-assigned)"));
+  }
+  Result<std::unique_ptr<hamlet::ml::Classifier>> loaded =
+      hamlet::io::LoadModelFromFileWithRetry(model_path);
+  if (!loaded.ok()) return Fail(loaded.status());
+  hamlet::serve::ModelSlot slot(std::move(loaded).value());
+
+  InstallHandler(SIGHUP, OnSighup);
+  InstallHandler(SIGINT, OnShutdownSignal);
+  InstallHandler(SIGTERM, OnShutdownSignal);
+
+  hamlet::serve::net::NetServeConfig config;
+  config.port = static_cast<uint16_t>(port.value());
+  config.live_stats = isatty(2) != 0;
+  config.model_poll = MakeReloadPoll(slot, model_path);
+  config.stop_poll = [] { return g_shutdown_requested != 0; };
+
+  hamlet::serve::net::NetServer server(*slot.current(), config);
+  const Status started = server.Start();
+  if (!started.ok()) return Fail(started);
+  std::fprintf(stderr, "hamlet_serve: listening on port %u (model %s)\n",
+               static_cast<unsigned>(server.port()),
+               slot.current()->name().c_str());
+
+  Result<hamlet::serve::StatsSummary> summary = server.Run(std::cerr);
+  if (!summary.ok()) return Fail(summary.status());
+  PrintServeSummary(summary.value(), slot.current()->name());
+  return 0;
+}
+
+int Client(const std::string& target, const std::string& requests_path) {
+  const size_t colon = target.rfind(':');
+  if (colon == std::string::npos) {
+    return Fail(Status::InvalidArgument("bad target \"" + target +
+                                        "\" (want <host>:<port>)"));
+  }
+  const std::string host = target.substr(0, colon);
+  const Result<uint64_t> port = ParseUnsigned(target.substr(colon + 1));
+  if (!port.ok() || port.value() < 1 || port.value() > 65535) {
+    return Fail(Status::InvalidArgument("bad port in \"" + target + "\""));
+  }
+
+  std::ifstream file;
+  if (!requests_path.empty()) {
+    file.open(requests_path);
+    if (!file) {
+      return Fail(Status::NotFound("cannot open requests file: " +
+                                   requests_path));
+    }
+  }
+  std::istream& in = requests_path.empty() ? std::cin : file;
+
+  Result<hamlet::serve::net::Socket> sock = hamlet::serve::net::ConnectTcp(
+      host, static_cast<uint16_t>(port.value()));
+  if (!sock.ok()) return Fail(sock.status());
+
+  // Writer thread streams requests while the main thread reads
+  // responses: both kernel buffers can fill on large streams, so
+  // send-all-then-read-all would deadlock against a batching server.
+  const int fd = sock.value().fd();
+  std::thread writer([&in, fd] {
+    std::string line;
+    while (std::getline(in, line)) {
+      line += '\n';
+      if (!hamlet::serve::net::SendAll(fd, line.data(), line.size()).ok()) {
+        // Server closed early (e.g. error budget); its final ERR lines
+        // are still in flight for the reader below.
+        break;
+      }
+    }
+    ::shutdown(fd, SHUT_WR);
+  });
+
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof(buf))) > 0) {
+    std::fwrite(buf, 1, static_cast<size_t>(n), stdout);
+  }
+  writer.join();
+  std::fflush(stdout);
+  if (n < 0) return Fail(Status::Unavailable("read: connection error"));
   return 0;
 }
 
@@ -282,6 +425,14 @@ int main(int argc, char** argv) {
   if (args[0] == "--emit-requests") {
     if (args.size() < 3 || args.size() > 4) return Usage();
     return EmitRequests(args[1], args[2], args.size() == 4 ? args[3] : "");
+  }
+  if (args[0] == "--listen") {
+    if (args.size() != 3) return Usage();
+    return Listen(args[1], args[2]);
+  }
+  if (args[0] == "--client") {
+    if (args.size() < 2 || args.size() > 3) return Usage();
+    return Client(args[1], args.size() == 3 ? args[2] : "");
   }
   if (args.size() > 2) return Usage();
   return Serve(args[0], args.size() == 2 ? args[1] : "");

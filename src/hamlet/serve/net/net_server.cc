@@ -1,0 +1,425 @@
+#include "hamlet/serve/net/net_server.h"
+
+#include <algorithm>
+#include <ostream>
+#include <utility>
+
+#include "hamlet/common/stringx.h"
+
+namespace hamlet {
+namespace serve {
+namespace net {
+
+namespace {
+
+/// How long the batch loop waits for a request before checking the
+/// shutdown flag and flushing a partial batch: bounds both signal
+/// latency and the tail latency of a quiet stream.
+constexpr std::chrono::milliseconds kPollInterval(50);
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// RequestQueue
+
+void NetServer::RequestQueue::Push(Request req) {
+  std::unique_lock<std::mutex> lock(mu_);
+  // EOF/error markers always fit: a reader must be able to announce its
+  // exit even at capacity, or shutdown could deadlock against a full
+  // queue.
+  if (req.kind == Request::Kind::kLine) {
+    not_full_.wait(lock, [this] { return items_.size() < capacity_; });
+  }
+  items_.push_back(std::move(req));
+  not_empty_.notify_one();
+}
+
+bool NetServer::RequestQueue::PopWithTimeout(
+    Request& req, std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!not_empty_.wait_for(lock, timeout,
+                           [this] { return !items_.empty(); })) {
+    return false;
+  }
+  req = std::move(items_.front());
+  items_.pop_front();
+  not_full_.notify_one();
+  return true;
+}
+
+bool NetServer::RequestQueue::TryPop(Request& req) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (items_.empty()) return false;
+  req = std::move(items_.front());
+  items_.pop_front();
+  not_full_.notify_one();
+  return true;
+}
+
+bool NetServer::RequestQueue::Empty() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return items_.empty();
+}
+
+// ---------------------------------------------------------------------
+// Lifecycle
+
+NetServer::NetServer(const ml::Classifier& model, NetServeConfig config)
+    : model_(model),
+      config_(std::move(config)),
+      domains_(model.train_domain_sizes()),
+      // Enough queued lines to fill a couple of batches; beyond that,
+      // readers block and TCP back-pressures the clients.
+      queue_(std::max<size_t>(
+          1024, 2 * (config_.batch_size > 0 ? config_.batch_size
+                                            : ConfiguredBatchSize()))) {}
+
+NetServer::~NetServer() {
+  // Defensive: a server that was Start()ed but never Run() (or whose
+  // Run() already returned) still owns threads to stop.
+  stop_.store(true);
+  listener_.ShutdownBoth();
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (auto& entry : conns_) entry.second->sock.ShutdownBoth();
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (auto& entry : conns_) {
+      // Drain any reader blocked on a full queue, then join.
+      Request dropped;
+      while (!entry.second->reader_done.load() && queue_.TryPop(dropped)) {
+      }
+      if (entry.second->reader.joinable()) entry.second->reader.join();
+    }
+    conns_.clear();
+  }
+  for (const ConnPtr& conn : retired_) {
+    if (conn->reader.joinable()) conn->reader.join();
+  }
+}
+
+Status NetServer::Start() {
+  if (domains_.empty()) {
+    return Status::FailedPrecondition(
+        "model carries no train-domain metadata; load it via io::LoadModel "
+        "or Fit it before serving");
+  }
+  Result<Socket> listener = ListenTcp(config_.port);
+  if (!listener.ok()) return listener.status();
+  listener_ = std::move(listener).value();
+  Result<uint16_t> port = LocalPort(listener_);
+  if (!port.ok()) return port.status();
+  port_ = port.value();
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  started_.store(true);
+  return Status::OK();
+}
+
+void NetServer::RequestShutdown() { stop_.store(true); }
+
+bool NetServer::ShouldStop() {
+  if (stop_.load()) return true;
+  if (config_.stop_poll && config_.stop_poll()) {
+    stop_.store(true);
+    return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------
+// Acceptor + readers
+
+void NetServer::AcceptLoop() {
+  while (true) {
+    Result<Socket> accepted = AcceptConnection(listener_);
+    // Errors here are the shutdown path (listener shut down) or a
+    // transient accept failure; either way stop_ decides.
+    if (stop_.load()) return;
+    if (!accepted.ok()) return;
+    ConnPtr conn = std::make_shared<Connection>();
+    conn->id = next_conn_id_.fetch_add(1);
+    conn->sock = std::move(accepted).value();
+    {
+      // Insert and reader-thread assignment share one critical section:
+      // everyone else reaches a connection through conns_ (under this
+      // mutex), so they observe `reader` fully assigned. Publishing the
+      // conn first opens a race where a fast reader finishes, the Run()
+      // thread reaps it while joinable() is still false, and the
+      // assignment then lands a never-joined thread in the struct.
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      conns_[conn->id] = conn;
+      conn->reader = std::thread([this, conn] { ReaderLoop(conn); });
+    }
+  }
+}
+
+void NetServer::ReaderLoop(ConnPtr conn) {
+  LineReader reader(conn->sock.fd());
+  uint64_t line_no = 0;
+  std::string line;
+  while (true) {
+    Result<bool> got = reader.ReadLine(line);
+    if (!got.ok()) {
+      Request req;
+      req.conn_id = conn->id;
+      req.line_no = ++line_no;
+      req.kind = Request::Kind::kReadError;
+      req.text = got.status().message();
+      queue_.Push(std::move(req));
+      break;
+    }
+    if (!got.value()) break;  // clean EOF
+    Request req;
+    req.conn_id = conn->id;
+    req.line_no = ++line_no;
+    req.kind = Request::Kind::kLine;
+    req.text = std::move(line);
+    queue_.Push(std::move(req));
+    line.clear();
+  }
+  Request eof;
+  eof.conn_id = conn->id;
+  eof.kind = Request::Kind::kEof;
+  queue_.Push(std::move(eof));
+  conn->reader_done.store(true);
+}
+
+// ---------------------------------------------------------------------
+// Run()-thread request handling
+
+NetServer::ConnPtr NetServer::FindConn(uint64_t id) {
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  auto it = conns_.find(id);
+  return it == conns_.end() ? nullptr : it->second;
+}
+
+std::string NetServer::HealthzResponse() const {
+  const ml::Classifier& active =
+      batcher_ != nullptr ? batcher_->active_model() : model_;
+  return "OK model=" + active.name() +
+         " rows=" + std::to_string(stats_.rows()) +
+         " errors=" + std::to_string(stats_.errors());
+}
+
+void NetServer::AssignImmediate(const ConnPtr& conn, std::string response) {
+  conn->ready[conn->next_slot++] = std::move(response);
+  DrainConn(conn);
+}
+
+void NetServer::RecordConnError(const ConnPtr& conn, uint64_t line_no,
+                                const std::string& reason) {
+  stats_.RecordError();
+  ++conn->errors;
+  AssignImmediate(conn,
+                  "ERR " + std::to_string(line_no) + ": " + reason);
+  if (conn->errors > max_errors_) {
+    // Per-connection isolation: only this client is cut off; the final
+    // ERR tells it why before the FIN.
+    AssignImmediate(conn, "ERR " + std::to_string(line_no) +
+                              ": error budget exceeded (" +
+                              std::to_string(max_errors_) +
+                              " rejected lines); closing connection");
+    conn->poisoned = true;
+    conn->sock.ShutdownRead();
+  }
+}
+
+void NetServer::HandleLine(const ConnPtr& conn, uint64_t line_no,
+                           const std::string& line) {
+  if (conn->poisoned) return;
+  if (IsIgnorableRequestLine(line)) return;
+  const std::string trimmed = TrimString(line);
+  if (!trimmed.empty() && trimmed[0] == '/') {
+    if (trimmed == "/healthz") {
+      AssignImmediate(conn, HealthzResponse());
+      return;
+    }
+    RecordConnError(conn, line_no,
+                    "unknown command \"" + trimmed + "\"");
+    return;
+  }
+  std::vector<uint32_t> codes;
+  const Status parsed = ParseRequest(line, domains_, codes);
+  if (!parsed.ok()) {
+    RecordConnError(conn, line_no, parsed.message());
+    return;
+  }
+  const uint64_t slot = conn->next_slot++;
+  const uint64_t tag = inflight_.size();
+  inflight_.emplace_back(conn, slot);
+  // Add can only fail on a malformed row, which ParseRequest just
+  // excluded; a failure here is a programming error worth surfacing,
+  // but it must not tear down the other connections — record it
+  // against this one.
+  const Status added = batcher_->Add(codes, tag);
+  if (!added.ok()) {
+    conn->ready[slot] = "ERR " + std::to_string(line_no) + ": " +
+                        added.message();
+    DrainConn(conn);
+  }
+}
+
+void NetServer::DrainConn(const ConnPtr& conn) {
+  auto it = conn->ready.find(conn->next_emit);
+  while (it != conn->ready.end()) {
+    if (!conn->write_failed) {
+      std::string out = it->second + "\n";
+      if (!SendAll(conn->sock.fd(), out.data(), out.size()).ok()) {
+        // The client vanished: stop writing and reading, but let any
+        // rows already in the batch complete (their slots just drop).
+        conn->write_failed = true;
+        conn->poisoned = true;
+        conn->sock.ShutdownRead();
+      }
+    }
+    conn->ready.erase(it);
+    it = conn->ready.find(++conn->next_emit);
+  }
+}
+
+void NetServer::MaybeRetire(const ConnPtr& conn) {
+  if (conn->retired || !conn->input_done) return;
+  if (conn->next_emit != conn->next_slot || !conn->ready.empty()) return;
+  conn->retired = true;
+  // Every response is out: half-close so the client's read loop ends.
+  conn->sock.ShutdownWrite();
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns_.erase(conn->id);
+  }
+  retired_.push_back(conn);
+}
+
+void NetServer::ReapRetired() {
+  auto done = [](const ConnPtr& conn) {
+    if (!conn->reader_done.load()) return false;
+    if (conn->reader.joinable()) conn->reader.join();
+    return true;
+  };
+  retired_.erase(std::remove_if(retired_.begin(), retired_.end(), done),
+                 retired_.end());
+}
+
+void NetServer::Process(const Request& req, std::ostream& err) {
+  ConnPtr conn = FindConn(req.conn_id);
+  if (conn == nullptr) return;  // already retired
+  switch (req.kind) {
+    case Request::Kind::kEof:
+      conn->input_done = true;
+      MaybeRetire(conn);
+      break;
+    case Request::Kind::kReadError:
+      err << "hamlet_serve: connection " << req.conn_id
+          << " read error: " << req.text << "\n";
+      RecordConnError(conn, req.line_no, req.text);
+      conn->poisoned = true;
+      break;
+    case Request::Kind::kLine:
+      HandleLine(conn, req.line_no, req.text);
+      break;
+  }
+}
+
+// ---------------------------------------------------------------------
+// The batch/write loop
+
+Result<StatsSummary> NetServer::Run(std::ostream& err) {
+  if (!started_.load()) {
+    return Status::FailedPrecondition("NetServer::Run before Start");
+  }
+  max_errors_ = config_.max_errors.has_value() ? *config_.max_errors
+                                               : ConfiguredMaxErrors();
+  LiveTicker ticker(err, config_.live_stats);
+  RequestBatcher batcher(
+      model_, domains_, config_.batch_size, config_.model_poll, stats_,
+      [this](uint64_t tag, uint8_t pred) -> Status {
+        const auto& [conn, slot] = inflight_[tag];
+        conn->ready[slot] = std::to_string(static_cast<int>(pred));
+        return Status::OK();
+      },
+      [this, &ticker]() {
+        for (const auto& [conn, slot] : inflight_) {
+          (void)slot;
+          DrainConn(conn);
+          MaybeRetire(conn);
+        }
+        inflight_.clear();
+        ticker.MaybeTick(stats_);
+      });
+  batcher_ = &batcher;
+  Status loop_status = Status::OK();
+
+  while (!ShouldStop()) {
+    Request req;
+    if (queue_.PopWithTimeout(req, kPollInterval)) {
+      Process(req, err);
+      // Opportunistic batching: drain whatever already arrived, then
+      // flush as soon as the queue goes idle so a quiet stream still
+      // answers promptly. Sustained load fills batches to batch_size
+      // inside Add.
+      Request more;
+      while (queue_.TryPop(more)) Process(more, err);
+    }
+    if (batcher.pending() > 0) {
+      loop_status = batcher.Flush();
+      if (!loop_status.ok()) break;
+    }
+    ReapRetired();
+  }
+
+  // Graceful shutdown: stop accepting, wake every reader, serve what
+  // already arrived, write the remaining responses, close.
+  stop_.store(true);
+  listener_.ShutdownBoth();
+  while (true) {
+    std::vector<ConnPtr> live;
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      // Latecomer-safe: re-shutdown every pass; a connection accepted
+      // just before the listener died still gets woken.
+      for (auto& entry : conns_) {
+        entry.second->sock.ShutdownRead();
+        live.push_back(entry.second);
+      }
+      if (conns_.empty() && queue_.Empty()) break;
+    }
+    if (!loop_status.ok()) {
+      // The batch loop itself failed: responses for queued rows will
+      // never materialise, so abandon them or the drain never ends.
+      for (const ConnPtr& conn : live) {
+        conn->write_failed = true;
+        conn->poisoned = true;
+        conn->ready.clear();
+        conn->next_emit = conn->next_slot;
+        MaybeRetire(conn);
+      }
+    }
+    Request req;
+    if (queue_.PopWithTimeout(req, std::chrono::milliseconds(10))) {
+      Process(req, err);
+      Request more;
+      while (queue_.TryPop(more)) Process(more, err);
+    }
+    if (loop_status.ok() && batcher.pending() > 0) {
+      loop_status = batcher.Flush();
+    }
+    ReapRetired();
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  ReapRetired();
+  for (const ConnPtr& conn : retired_) {
+    if (conn->reader.joinable()) conn->reader.join();
+  }
+  retired_.clear();
+  batcher_ = nullptr;
+  ticker.Finish();
+
+  if (!loop_status.ok()) return loop_status;
+  return Result<StatsSummary>(stats_.Summarize());
+}
+
+}  // namespace net
+}  // namespace serve
+}  // namespace hamlet

@@ -1,0 +1,204 @@
+// TCP front-end for the serving stack: a line-protocol socket service
+// multiplexing concurrent client connections onto one shared
+// RequestBatcher, so every connection's rows ride the same
+// HAMLET_SERVE_BATCH batches across the HAMLET_THREADS pool.
+//
+// Wire protocol (newline-framed, same request grammar as the stdin
+// path — see serve/server.h):
+//   - Each request line yields exactly one response line, in
+//     per-connection request order: the prediction ("0"/"1"), or
+//     "ERR <line>: <reason>" for a malformed/out-of-domain line, where
+//     <line> is the 1-based line number within that connection
+//     (blank/'#' lines count but produce no response, exactly like the
+//     stdin path — so piping the same file through `--client` and
+//     through stdin yields bit-identical output).
+//   - Lines starting with '/' are commands. "/healthz" answers
+//     "OK model=<name> rows=<served> errors=<rejected>" immediately
+//     (in order with the connection's other responses); unknown
+//     commands are errors.
+//   - Error isolation is per connection (OnError::kSkip semantics):
+//     a bad line produces an ERR response and counts against that
+//     connection's budget (NetServeConfig::max_errors, default
+//     HAMLET_SERVE_MAX_ERRORS); exceeding the budget sends a final
+//     "ERR <line>: error budget exceeded..." and closes only that
+//     connection. Other connections never notice.
+//   - The server half-closes (FIN) a connection once the client's EOF
+//     arrived and every response was written, so "send all, shut down
+//     write, read until EOF" is a complete client.
+//
+// Threading: one acceptor thread, one reader thread per connection,
+// and the caller's Run() thread as the single batch/write loop. All
+// parsing, batching, stats, and socket writes happen on the Run()
+// thread; readers only frame lines into a bounded queue (back-pressure
+// lands on the sockets, not on memory). A stalled client can therefore
+// stall the write loop — acceptable at this rung, noted in
+// docs/ARCHITECTURE.md.
+//
+// Shutdown: RequestShutdown() (or a true stop_poll, wired to
+// SIGINT/SIGTERM by hamlet_serve) stops accepting, wakes every reader,
+// drains already-received requests through a final batch, writes the
+// remaining responses, and returns the run's StatsSummary — the caller
+// prints the usual "[serve]" line.
+
+#ifndef HAMLET_SERVE_NET_NET_SERVER_H_
+#define HAMLET_SERVE_NET_NET_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "hamlet/common/status.h"
+#include "hamlet/ml/classifier.h"
+#include "hamlet/serve/net/socket.h"
+#include "hamlet/serve/server.h"
+#include "hamlet/serve/stats.h"
+
+namespace hamlet {
+namespace serve {
+namespace net {
+
+struct NetServeConfig {
+  /// Port to listen on (loopback); 0 = OS-assigned, read via port().
+  uint16_t port = 0;
+  /// Rows per PredictAll call; 0 = ConfiguredBatchSize().
+  size_t batch_size = 0;
+  /// Per-connection rejected-line budget; nullopt = ConfiguredMaxErrors().
+  std::optional<size_t> max_errors;
+  /// Paint the in-place LiveTicker line on the Run() err stream.
+  bool live_stats = false;
+  /// Hot-reload hook, same contract as ServeConfig::model_poll.
+  std::function<const ml::Classifier*()> model_poll;
+  /// Checked between batches; returning true triggers graceful
+  /// shutdown (hamlet_serve wires the SIGINT/SIGTERM flag here).
+  std::function<bool()> stop_poll;
+};
+
+class NetServer {
+ public:
+  /// The model must carry train-domain metadata and outlive the server
+  /// (hot reload via model_poll follows the ServeStream contract).
+  NetServer(const ml::Classifier& model, NetServeConfig config);
+  ~NetServer();
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  /// Binds, listens, and starts accepting. Fails without serving if
+  /// the port is taken or the model carries no domain metadata.
+  Status Start();
+
+  /// The bound port (valid after a successful Start).
+  uint16_t port() const { return port_; }
+
+  /// The batch/write loop: serves until RequestShutdown() or a true
+  /// stop_poll, then drains and returns the aggregate summary.
+  /// `err` receives the live ticker and per-event log lines.
+  Result<StatsSummary> Run(std::ostream& err);
+
+  /// Thread-safe, idempotent; Run() notices within its poll interval.
+  void RequestShutdown();
+
+ private:
+  struct Request {
+    enum class Kind : uint8_t { kLine, kEof, kReadError };
+    uint64_t conn_id = 0;
+    uint64_t line_no = 0;  ///< 1-based within the connection
+    Kind kind = Kind::kLine;
+    std::string text;      ///< the line, or the read-error reason
+  };
+
+  /// Bounded MPSC queue: readers push (blocking at capacity), the Run()
+  /// thread pops. Back-pressure reaches clients through TCP.
+  class RequestQueue {
+   public:
+    explicit RequestQueue(size_t capacity) : capacity_(capacity) {}
+    void Push(Request req);
+    bool PopWithTimeout(Request& req, std::chrono::milliseconds timeout);
+    bool TryPop(Request& req);
+    bool Empty();
+
+   private:
+    std::mutex mu_;
+    std::condition_variable not_full_;
+    std::condition_variable not_empty_;
+    std::deque<Request> items_;
+    size_t capacity_;
+  };
+
+  /// Per-connection state. The socket is shared between its reader
+  /// thread (reads) and the Run() thread (writes, shutdown); all other
+  /// fields below `reader_done` are Run()-thread-only.
+  struct Connection {
+    uint64_t id = 0;
+    Socket sock;
+    std::thread reader;
+    std::atomic<bool> reader_done{false};
+
+    uint64_t next_slot = 0;  ///< next response slot to assign
+    uint64_t next_emit = 0;  ///< next response slot to write
+    std::map<uint64_t, std::string> ready;  ///< completed out-of-order
+    uint64_t errors = 0;     ///< rejected lines on this connection
+    bool input_done = false; ///< EOF marker consumed
+    bool poisoned = false;   ///< budget/write failure: drop further input
+    bool write_failed = false;  ///< peer vanished: discard responses
+    bool retired = false;    ///< already moved to the retired list
+  };
+  using ConnPtr = std::shared_ptr<Connection>;
+
+  void AcceptLoop();
+  void ReaderLoop(ConnPtr conn);
+
+  // Run()-thread helpers.
+  void Process(const Request& req, std::ostream& err);
+  void HandleLine(const ConnPtr& conn, uint64_t line_no,
+                  const std::string& line);
+  void AssignImmediate(const ConnPtr& conn, std::string response);
+  void RecordConnError(const ConnPtr& conn, uint64_t line_no,
+                       const std::string& reason);
+  void DrainConn(const ConnPtr& conn);
+  void MaybeRetire(const ConnPtr& conn);
+  void ReapRetired();
+  bool ShouldStop();
+  ConnPtr FindConn(uint64_t id);
+  std::string HealthzResponse() const;
+
+  const ml::Classifier& model_;
+  NetServeConfig config_;
+  std::vector<uint32_t> domains_;
+  size_t max_errors_ = kUnlimitedErrors;
+
+  Socket listener_;
+  uint16_t port_ = 0;
+  std::thread acceptor_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> started_{false};
+
+  RequestQueue queue_;
+  std::mutex conns_mu_;
+  std::map<uint64_t, ConnPtr> conns_;
+  std::atomic<uint64_t> next_conn_id_{1};
+  /// Closed connections awaiting their reader join (Run() thread).
+  std::vector<ConnPtr> retired_;
+
+  // Batch state, only valid inside Run().
+  LatencyStats stats_;
+  RequestBatcher* batcher_ = nullptr;
+  /// tag -> (connection, slot) for rows in the current batch.
+  std::vector<std::pair<ConnPtr, uint64_t>> inflight_;
+};
+
+}  // namespace net
+}  // namespace serve
+}  // namespace hamlet
+
+#endif  // HAMLET_SERVE_NET_NET_SERVER_H_

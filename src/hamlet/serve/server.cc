@@ -7,6 +7,7 @@
 #include <istream>
 #include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "hamlet/common/logging.h"
@@ -34,13 +35,11 @@ Dataset MakeRequestDataset(const std::vector<uint32_t>& domains) {
   return Dataset(std::move(specs));
 }
 
-/// Parses one request line into `codes`, validating field count and
-/// domain membership. The returned message carries no line prefix; the
-/// caller adds "request line N: " so both the strict Status and the
-/// resilient ERR output line can share the reason text.
-Status ParseRequestLine(const std::string& line,
-                        const std::vector<uint32_t>& domains,
-                        std::vector<uint32_t>& codes) {
+}  // namespace
+
+Status ParseRequest(const std::string& line,
+                    const std::vector<uint32_t>& domains,
+                    std::vector<uint32_t>& codes) {
   codes.clear();
   const char* p = line.c_str();
   while (true) {
@@ -77,7 +76,10 @@ Status ParseRequestLine(const std::string& line,
   return Status::OK();
 }
 
-}  // namespace
+bool IsIgnorableRequestLine(const std::string& line) {
+  const size_t first = line.find_first_not_of(" \t");
+  return first == std::string::npos || line[first] == '#';
+}
 
 size_t ConfiguredBatchSize() {
   const char* env = std::getenv("HAMLET_SERVE_BATCH");
@@ -116,11 +118,13 @@ size_t ConfiguredMaxErrors() {
   if (env == nullptr || *env == '\0') return kUnlimitedErrors;
   char* end = nullptr;
   const long parsed = std::strtol(env, &end, 10);
-  if (end == env || *end != '\0' || parsed < 1) {
+  // 0 is a real budget ("tolerate no errors"); only non-numeric or
+  // negative values are invalid.
+  if (end == env || *end != '\0' || parsed < 0) {
     if (FirstOccurrence(std::string("serve_max_errors:") + env)) {
       std::fprintf(stderr,
                    "hamlet: invalid HAMLET_SERVE_MAX_ERRORS=\"%s\" (want a "
-                   "positive integer); errors are unlimited\n",
+                   "non-negative integer); errors are unlimited\n",
                    env);
     }
     return kUnlimitedErrors;
@@ -145,6 +149,67 @@ Status ValidateReloadedModel(const ml::Classifier& current,
   return Status::OK();
 }
 
+const ml::Classifier* ModelSlot::Swap(
+    std::unique_ptr<ml::Classifier> fresh) {
+  // The previously retired model (two swaps old) is the only thing
+  // destroyed here; no live serving loop can still reference it.
+  retired_ = std::move(current_);
+  current_ = std::move(fresh);
+  return current_.get();
+}
+
+RequestBatcher::RequestBatcher(
+    const ml::Classifier& model, std::vector<uint32_t> domains,
+    size_t batch_size, std::function<const ml::Classifier*()> model_poll,
+    LatencyStats& stats, Emit emit, AfterBatch after_batch)
+    : domains_(std::move(domains)),
+      batch_size_(batch_size > 0 ? batch_size : ConfiguredBatchSize()),
+      model_poll_(std::move(model_poll)),
+      stats_(stats),
+      emit_(std::move(emit)),
+      after_batch_(std::move(after_batch)),
+      active_(&model),
+      batch_(MakeRequestDataset(domains_)) {
+  batch_.Reserve(batch_size_);
+  tags_.reserve(batch_size_);
+}
+
+void RequestBatcher::ResetBatch() {
+  // Rebuild the skeleton rather than clearing rows: Dataset has no row
+  // erase, and the per-batch allocation is trivial next to PredictAll.
+  batch_ = MakeRequestDataset(domains_);
+  batch_.Reserve(batch_size_);
+  tags_.clear();
+  pending_rows_ = 0;
+}
+
+Status RequestBatcher::Add(const std::vector<uint32_t>& codes,
+                           uint64_t tag) {
+  HAMLET_RETURN_IF_ERROR(batch_.AppendRow(codes, 0));
+  tags_.push_back(tag);
+  if (++pending_rows_ >= batch_size_) return Flush();
+  return Status::OK();
+}
+
+Status RequestBatcher::Flush() {
+  if (pending_rows_ == 0) return Status::OK();
+  if (model_poll_) {
+    if (const ml::Classifier* fresh = model_poll_()) active_ = fresh;
+  }
+  const DataView view(&batch_);
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::vector<uint8_t> preds = active_->PredictAll(view);
+  const std::chrono::duration<double> dt =
+      std::chrono::steady_clock::now() - t0;
+  stats_.RecordBatch(preds.size(), dt.count());
+  for (size_t i = 0; i < preds.size(); ++i) {
+    HAMLET_RETURN_IF_ERROR(emit_(tags_[i], preds[i]));
+  }
+  if (after_batch_) after_batch_();
+  ResetBatch();
+  return Status::OK();
+}
+
 Result<StatsSummary> ServeStream(const ml::Classifier& model,
                                  std::istream& in, std::ostream& out,
                                  std::ostream& err,
@@ -159,47 +224,26 @@ Result<StatsSummary> ServeStream(const ml::Classifier& model,
         "model carries no train-domain metadata; load it via io::LoadModel "
         "or Fit it before serving");
   }
-  const size_t batch_size =
-      config.batch_size > 0 ? config.batch_size : ConfiguredBatchSize();
   const OnError on_error = config.on_error == OnError::kEnv
                                ? ConfiguredOnError()
                                : config.on_error;
   const size_t max_errors =
-      config.max_errors > 0 ? config.max_errors : ConfiguredMaxErrors();
+      config.max_errors.has_value() ? *config.max_errors
+                                    : ConfiguredMaxErrors();
 
   LatencyStats stats;
   LiveTicker ticker(err, config.live_stats);
 
-  // Hot reload swaps this pointer at batch boundaries; request parsing
-  // keeps using `domains` from the original model, which
-  // ValidateReloadedModel guarantees are identical on the new one.
-  const ml::Classifier* active = &model;
-
-  Dataset batch = MakeRequestDataset(domains);
-  batch.Reserve(batch_size);
-  size_t batch_rows = 0;
-
-  auto flush_batch = [&]() -> Status {
-    if (batch_rows == 0) return Status::OK();
-    if (config.model_poll) {
-      if (const ml::Classifier* fresh = config.model_poll()) active = fresh;
-    }
-    const DataView view(&batch);
-    const auto t0 = std::chrono::steady_clock::now();
-    const std::vector<uint8_t> preds = active->PredictAll(view);
-    const std::chrono::duration<double> dt =
-        std::chrono::steady_clock::now() - t0;
-    stats.RecordBatch(preds.size(), dt.count());
-    for (uint8_t p : preds) out << static_cast<int>(p) << '\n';
-    if (!out) return Status::Internal("serve: write error on output stream");
-    ticker.MaybeTick(stats);
-    // Rebuild the skeleton rather than clearing rows: Dataset has no row
-    // erase, and the per-batch allocation is trivial next to PredictAll.
-    batch = MakeRequestDataset(domains);
-    batch.Reserve(batch_size);
-    batch_rows = 0;
-    return Status::OK();
-  };
+  RequestBatcher batcher(
+      model, domains, config.batch_size, config.model_poll, stats,
+      [&out](uint64_t, uint8_t p) -> Status {
+        out << static_cast<int>(p) << '\n';
+        if (!out) {
+          return Status::Internal("serve: write error on output stream");
+        }
+        return Status::OK();
+      },
+      [&ticker, &stats]() { ticker.MaybeTick(stats); });
 
   std::string line;
   std::vector<uint32_t> codes;
@@ -208,9 +252,8 @@ Result<StatsSummary> ServeStream(const ml::Classifier& model,
     ++line_no;
     if (!line.empty() && line.back() == '\r') line.pop_back();
     // Skip blanks and comments without emitting an output line.
-    const size_t first = line.find_first_not_of(" \t");
-    if (first == std::string::npos || line[first] == '#') continue;
-    const Status parsed = ParseRequestLine(line, domains, codes);
+    if (IsIgnorableRequestLine(line)) continue;
+    const Status parsed = ParseRequest(line, domains, codes);
     if (!parsed.ok()) {
       if (on_error == OnError::kAbort) {
         return Status::FromCode(parsed.code(),
@@ -219,7 +262,7 @@ Result<StatsSummary> ServeStream(const ml::Classifier& model,
       }
       // Resilient mode: flush what came before so the ERR line lands in
       // request order, then keep serving.
-      HAMLET_RETURN_IF_ERROR(flush_batch());
+      HAMLET_RETURN_IF_ERROR(batcher.Flush());
       out << "ERR " << line_no << ": " << parsed.message() << '\n';
       if (!out) {
         return Status::Internal("serve: write error on output stream");
@@ -233,10 +276,9 @@ Result<StatsSummary> ServeStream(const ml::Classifier& model,
       }
       continue;
     }
-    HAMLET_RETURN_IF_ERROR(batch.AppendRow(codes, 0));
-    if (++batch_rows >= batch_size) HAMLET_RETURN_IF_ERROR(flush_batch());
+    HAMLET_RETURN_IF_ERROR(batcher.Add(codes, 0));
   }
-  HAMLET_RETURN_IF_ERROR(flush_batch());
+  HAMLET_RETURN_IF_ERROR(batcher.Flush());
   ticker.Finish();
   out.flush();
   return Result<StatsSummary>(stats.Summarize());

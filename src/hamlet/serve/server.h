@@ -9,6 +9,12 @@
 // stream to `out` one per line in request order; per-batch model time
 // feeds the LatencyStats summary the caller prints.
 //
+// The batching core is factored out as RequestBatcher so other request
+// sources can share it: the TCP front-end (serve/net/) multiplexes
+// concurrent client connections onto one RequestBatcher, which is how
+// concurrent connections end up sharing HAMLET_SERVE_BATCH batches
+// across the HAMLET_THREADS pool.
+//
 // Request line format: num_features() unsigned integers separated by
 // spaces, tabs or commas. Blank lines and lines starting with '#' are
 // skipped (and produce no output line).
@@ -32,15 +38,23 @@
 // caller is responsible for only returning models that pass
 // ValidateReloadedModel — hamlet_serve wires SIGHUP -> load into a
 // fresh slot -> validate -> swap, keeping the old model on any failure.
+// ModelSlot implements the required lifetime discipline: the displaced
+// model stays alive until the *following* swap, so a poll call never
+// destroys the model the serving loop was using when it invoked it.
 
 #ifndef HAMLET_SERVE_SERVER_H_
 #define HAMLET_SERVE_SERVER_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <iosfwd>
+#include <memory>
+#include <optional>
+#include <vector>
 
 #include "hamlet/common/status.h"
+#include "hamlet/data/dataset.h"
 #include "hamlet/ml/classifier.h"
 #include "hamlet/serve/stats.h"
 
@@ -68,8 +82,9 @@ inline constexpr size_t kUnlimitedErrors = static_cast<size_t>(-1);
 /// once per distinct value and fall back to kAbort.
 OnError ConfiguredOnError();
 
-/// Error cap requested via HAMLET_SERVE_MAX_ERRORS: a positive integer,
-/// or unset for unlimited. Invalid values warn once and mean unlimited.
+/// Error cap requested via HAMLET_SERVE_MAX_ERRORS: a non-negative
+/// integer (0 = tolerate no errors: the first rejected line aborts), or
+/// unset for unlimited. Invalid values warn once and mean unlimited.
 size_t ConfiguredMaxErrors();
 
 struct ServeConfig {
@@ -80,12 +95,100 @@ struct ServeConfig {
   /// Malformed-line policy; kEnv = ConfiguredOnError().
   OnError on_error = OnError::kEnv;
   /// Rejected-line budget in kSkip mode; exceeding it aborts the run.
-  /// 0 = ConfiguredMaxErrors() (unlimited when the env is unset too).
-  size_t max_errors = 0;
+  /// nullopt = ConfiguredMaxErrors() (unlimited when the env is unset
+  /// too). 0 is a real budget: the first rejected line aborts.
+  std::optional<size_t> max_errors;
   /// Hot-reload hook, called at every batch boundary. A non-null return
   /// replaces the model for subsequent batches (the previous model must
   /// stay valid until the call returns). Null = keep serving as-is.
   std::function<const ml::Classifier*()> model_poll;
+};
+
+/// Parses one request line into `codes`, validating field count and
+/// domain membership against `domains`. The returned message carries no
+/// line prefix; callers add "request line N: " so the strict Status and
+/// the resilient ERR output line share the reason text. Shared by
+/// ServeStream and the socket front-end so both speak the same grammar.
+Status ParseRequest(const std::string& line,
+                    const std::vector<uint32_t>& domains,
+                    std::vector<uint32_t>& codes);
+
+/// True for request lines that produce no output at all: blank lines
+/// and '#' comments. The caller strips a trailing '\r' first.
+bool IsIgnorableRequestLine(const std::string& line);
+
+/// The shared batching core: accumulates parsed request rows, scores a
+/// full batch through the active model's dense PredictAll (timed into
+/// `stats`), and hands each prediction back through `emit` tagged with
+/// the caller-supplied token, in row order. One owner drives it from a
+/// single thread; sources that read from many threads (the socket
+/// front-end) funnel into it through a queue.
+class RequestBatcher {
+ public:
+  /// Receives one prediction per Add'ed row, in batch order.
+  using Emit = std::function<Status(uint64_t tag, uint8_t prediction)>;
+  /// Invoked after every successfully flushed batch (ticker repaints,
+  /// connection output drains).
+  using AfterBatch = std::function<void()>;
+
+  /// `domains` is copied: hot reload may destroy the model the sizes
+  /// came from, and ValidateReloadedModel guarantees the replacement's
+  /// domains are identical.
+  RequestBatcher(const ml::Classifier& model, std::vector<uint32_t> domains,
+                 size_t batch_size,
+                 std::function<const ml::Classifier*()> model_poll,
+                 LatencyStats& stats, Emit emit,
+                 AfterBatch after_batch = nullptr);
+
+  const std::vector<uint32_t>& domains() const { return domains_; }
+
+  /// Queues one validated row; flushes automatically at capacity.
+  Status Add(const std::vector<uint32_t>& codes, uint64_t tag);
+
+  /// Scores and emits everything pending. No-op when empty; the
+  /// model_poll hook fires only when there are rows to serve, keeping
+  /// the poll cadence identical to the original single-stream loop.
+  Status Flush();
+
+  size_t pending() const { return pending_rows_; }
+  const ml::Classifier& active_model() const { return *active_; }
+
+ private:
+  void ResetBatch();
+
+  std::vector<uint32_t> domains_;
+  size_t batch_size_;
+  std::function<const ml::Classifier*()> model_poll_;
+  LatencyStats& stats_;
+  Emit emit_;
+  AfterBatch after_batch_;
+  const ml::Classifier* active_;
+  Dataset batch_;
+  std::vector<uint64_t> tags_;
+  size_t pending_rows_ = 0;
+};
+
+/// Owns the serving model plus the one it most recently replaced.
+/// Swap() keeps the displaced model alive until the *next* Swap (or the
+/// slot's destruction): ServeStream's model_poll contract says the
+/// previous model must stay valid until the poll call returns, so the
+/// hook must not destroy it mid-call — parking it here defers the
+/// destruction past the swap that retired it.
+class ModelSlot {
+ public:
+  explicit ModelSlot(std::unique_ptr<ml::Classifier> model)
+      : current_(std::move(model)) {}
+
+  const ml::Classifier* current() const { return current_.get(); }
+  ml::Classifier* current() { return current_.get(); }
+
+  /// Installs `fresh` as the serving model and returns it. The previous
+  /// model is retired, not destroyed: it lives until the next Swap.
+  const ml::Classifier* Swap(std::unique_ptr<ml::Classifier> fresh);
+
+ private:
+  std::unique_ptr<ml::Classifier> current_;
+  std::unique_ptr<ml::Classifier> retired_;
 };
 
 /// Serves every request line of `in` against `model`, writing one

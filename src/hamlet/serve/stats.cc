@@ -63,20 +63,28 @@ void LiveTicker::MaybeTick(const LatencyStats& stats) {
   painted_ = true;
   const StatsSummary s = stats.Summarize();
   char line[160];
-  std::snprintf(line, sizeof(line),
-                "\rserving: rows=%llu batches=%llu errs=%llu ops/s=%.0f "
-                "p50=%.0fus p99=%.0fus   ",
-                static_cast<unsigned long long>(s.rows),
-                static_cast<unsigned long long>(s.batches),
-                static_cast<unsigned long long>(s.errors), s.preds_per_sec,
-                s.p50_us, s.p99_us);
+  const int n = std::snprintf(
+      line, sizeof(line),
+      "\rserving: rows=%llu batches=%llu errs=%llu ops/s=%.0f "
+      "p50=%.0fus p99=%.0fus   ",
+      static_cast<unsigned long long>(s.rows),
+      static_cast<unsigned long long>(s.batches),
+      static_cast<unsigned long long>(s.errors), s.preds_per_sec,
+      s.p50_us, s.p99_us);
+  if (n > 0) {
+    // Track the widest line actually painted (minus the leading '\r',
+    // capped by the buffer) so Finish can blank exactly that many
+    // columns — a constant-width blank leaves residue from wide lines.
+    const size_t width = std::min(static_cast<size_t>(n), sizeof(line)) - 1;
+    painted_width_ = std::max(painted_width_, width);
+  }
   os_ << line << std::flush;
 }
 
 void LiveTicker::Finish() {
   if (!enabled_ || !painted_) return;
-  // Blank the widest line we may have painted, then return the cursor.
-  os_ << '\r' << std::string(100, ' ') << '\r' << std::flush;
+  // Blank the widest line we painted, then return the cursor.
+  os_ << '\r' << std::string(painted_width_, ' ') << '\r' << std::flush;
   painted_ = false;
 }
 

@@ -70,12 +70,18 @@ class LiveTicker {
   /// Clears the in-place line (call before printing final summaries).
   void Finish();
 
+  /// Widest line painted so far (excluding the leading '\r'); Finish
+  /// blanks exactly this many columns. Exposed for the width-tracking
+  /// regression test.
+  size_t painted_width() const { return painted_width_; }
+
  private:
   std::ostream& os_;
   bool enabled_;
   std::chrono::milliseconds interval_;
   std::chrono::steady_clock::time_point last_;
   bool painted_ = false;
+  size_t painted_width_ = 0;
 };
 
 }  // namespace serve

@@ -279,5 +279,31 @@ TEST(StringxTest, Padding) {
   EXPECT_EQ(PadLeft("abcdef", 4), "abcd");
 }
 
+TEST(StringxTest, ParseUnsignedAcceptsPlainDigits) {
+  EXPECT_EQ(ParseUnsigned("0").value(), 0u);
+  EXPECT_EQ(ParseUnsigned("42").value(), 42u);
+  EXPECT_EQ(ParseUnsigned("007").value(), 7u);
+  EXPECT_EQ(ParseUnsigned("18446744073709551615").value(), UINT64_MAX);
+}
+
+TEST(StringxTest, ParseUnsignedRejectsWhatStrtoullSilentlyAccepts) {
+  // The whole point of the helper: strtoull("banana") = 0 with no error
+  // and strtoull("-1") wraps to UINT64_MAX — both must fail loudly here.
+  for (const char* bad :
+       {"", "banana", "-1", "+1", " 1", "1 ", "12abc", "0x10", "1.5"}) {
+    SCOPED_TRACE(bad);
+    const auto parsed = ParseUnsigned(bad);
+    ASSERT_FALSE(parsed.ok());
+    EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+    // The message names the offending string so CLI errors are
+    // actionable.
+    EXPECT_NE(parsed.status().message().find(bad), std::string::npos);
+  }
+  // One past UINT64_MAX overflows.
+  const auto over = ParseUnsigned("18446744073709551616");
+  ASSERT_FALSE(over.ok());
+  EXPECT_EQ(over.status().code(), StatusCode::kOutOfRange);
+}
+
 }  // namespace
 }  // namespace hamlet

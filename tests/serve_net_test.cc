@@ -1,0 +1,406 @@
+// Socket front-end tests: LineReader framing, the NetServer lifecycle,
+// and — the contract that matters — bit-identical parity between
+// responses served over TCP and the stdin ServeStream path, including
+// under concurrent connections multiplexed onto shared batches.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "hamlet/ml/majority.h"
+#include "hamlet/ml/tree/decision_tree.h"
+#include "hamlet/serve/net/net_server.h"
+#include "hamlet/serve/net/socket.h"
+#include "hamlet/serve/server.h"
+#include "parity_util.h"
+
+namespace hamlet {
+namespace {
+
+using serve::net::ConnectTcp;
+using serve::net::LineReader;
+using serve::net::NetServeConfig;
+using serve::net::NetServer;
+using serve::net::SendAll;
+using serve::net::Socket;
+using test::MakeParityDataset;
+using test::ScopedThreads;
+
+// ------------------------------------------------------------ framing --
+
+/// A pipe whose write end feeds a LineReader on the read end —
+/// deterministic chunk boundaries, no real network.
+struct Pipe {
+  Socket rd, wr;
+  Pipe() {
+    int fds[2] = {-1, -1};
+    EXPECT_EQ(::pipe(fds), 0);
+    rd = Socket(fds[0]);
+    wr = Socket(fds[1]);
+  }
+};
+
+/// write(2)-based feeder for the pipe tests (SendAll is send(2)-only:
+/// MSG_NOSIGNAL does not apply to pipes).
+bool WriteAll(int fd, const char* data, size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::write(fd, data, len);
+    if (n <= 0) return false;
+    data += n;
+    len -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+TEST(LineReaderTest, FramesLinesAcrossArbitraryChunkBoundaries) {
+  Pipe p;
+  LineReader reader(p.rd.fd());
+  // One logical stream delivered in awkward chunks: a line split across
+  // writes, CRLF framing, and back-to-back lines in one chunk.
+  for (const char* chunk : {"1 ", "2\r\n3 4\n", "5", " 6\n"}) {
+    ASSERT_TRUE(WriteAll(p.wr.fd(), chunk, strlen(chunk)));
+  }
+  p.wr.Close();
+
+  std::string line;
+  std::vector<std::string> lines;
+  while (true) {
+    const auto got = reader.ReadLine(line);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    if (!got.value()) break;
+    lines.push_back(line);
+  }
+  EXPECT_EQ(lines, (std::vector<std::string>{"1 2", "3 4", "5 6"}));
+}
+
+TEST(LineReaderTest, YieldsFinalUnterminatedFragment) {
+  Pipe p;
+  LineReader reader(p.rd.fd());
+  const char* data = "complete\npartial";
+  ASSERT_TRUE(WriteAll(p.wr.fd(), data, strlen(data)));
+  p.wr.Close();
+
+  std::string line;
+  ASSERT_TRUE(reader.ReadLine(line).value());
+  EXPECT_EQ(line, "complete");
+  // std::getline semantics: the trailing fragment is still a line.
+  ASSERT_TRUE(reader.ReadLine(line).value());
+  EXPECT_EQ(line, "partial");
+  EXPECT_FALSE(reader.ReadLine(line).value());  // then clean EOF
+  EXPECT_FALSE(reader.ReadLine(line).value());  // and EOF is sticky
+}
+
+TEST(LineReaderTest, EmptyAndBlankLinesSurvive) {
+  Pipe p;
+  LineReader reader(p.rd.fd());
+  const char* data = "\n\r\n  \n";
+  ASSERT_TRUE(WriteAll(p.wr.fd(), data, strlen(data)));
+  p.wr.Close();
+
+  std::string line;
+  ASSERT_TRUE(reader.ReadLine(line).value());
+  EXPECT_EQ(line, "");
+  ASSERT_TRUE(reader.ReadLine(line).value());
+  EXPECT_EQ(line, "");  // "\r\n" -> stripped to empty
+  ASSERT_TRUE(reader.ReadLine(line).value());
+  EXPECT_EQ(line, "  ");
+  EXPECT_FALSE(reader.ReadLine(line).value());
+}
+
+TEST(LineReaderTest, OversizedLinePoisonsTheStream) {
+  Pipe p;
+  // Small cap so the test doesn't fight the pipe buffer size.
+  LineReader reader(p.rd.fd(), /*max_line_bytes=*/64);
+  const std::string big(100, 'x');
+  ASSERT_TRUE(WriteAll(p.wr.fd(), big.data(), big.size()));
+  p.wr.Close();
+
+  std::string line;
+  const auto got = reader.ReadLine(line);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------- NetServer --
+
+/// Fits a model, starts a NetServer on an ephemeral port, and runs the
+/// batch loop on a background thread. The destructor (or Stop) shuts
+/// down and surfaces the run summary.
+class ServerFixture {
+ public:
+  explicit ServerFixture(const ml::Classifier& model,
+                         NetServeConfig config = {})
+      : server_(model, config) {
+    const Status started = server_.Start();
+    EXPECT_TRUE(started.ok()) << started.ToString();
+    runner_ = std::thread([this] { summary_ = server_.Run(err_); });
+  }
+
+  ~ServerFixture() {
+    if (runner_.joinable()) Stop();
+  }
+
+  Result<serve::StatsSummary> Stop() {
+    server_.RequestShutdown();
+    runner_.join();
+    return summary_;
+  }
+
+  uint16_t port() const { return server_.port(); }
+  std::string err_text() const { return err_.str(); }
+
+ private:
+  NetServer server_;
+  std::thread runner_;
+  std::ostringstream err_;
+  Result<serve::StatsSummary> summary_ =
+      Status::Internal("server never ran");
+};
+
+/// One complete client exchange: connect, stream `input`, half-close,
+/// read every response byte until the server's FIN.
+std::string RoundTrip(uint16_t port, const std::string& input) {
+  Result<Socket> sock = ConnectTcp("127.0.0.1", port);
+  EXPECT_TRUE(sock.ok()) << sock.status().ToString();
+  if (!sock.ok()) return "";
+  EXPECT_TRUE(SendAll(sock.value().fd(), input.data(), input.size()).ok());
+  sock.value().ShutdownWrite();
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::read(sock.value().fd(), buf, sizeof(buf))) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  EXPECT_EQ(n, 0) << "connection error mid-read";
+  return response;
+}
+
+/// Renders `view`'s rows as request lines in the serve wire format.
+std::string RequestLines(const DataView& view) {
+  std::ostringstream os;
+  for (size_t i = 0; i < view.num_rows(); ++i) {
+    for (size_t j = 0; j < view.num_features(); ++j) {
+      if (j > 0) os << ' ';
+      os << view.feature(i, j);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+TEST(NetServerTest, StartRejectsUnfittedModel) {
+  ml::MajorityClassifier unfitted;
+  NetServer server(unfitted, {});
+  const Status st = server.Start();
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(NetServerTest, IdleStartStopYieldsZeroSummary) {
+  const Dataset data = MakeParityDataset(80, {5, 4}, 7);
+  ml::MajorityClassifier model;
+  ASSERT_TRUE(model.Fit(DataView(&data)).ok());
+
+  ServerFixture fixture(model);
+  ASSERT_GT(fixture.port(), 0);
+  const auto summary = fixture.Stop();
+  ASSERT_TRUE(summary.ok()) << summary.status().ToString();
+  EXPECT_EQ(summary.value().rows, 0u);
+  EXPECT_EQ(summary.value().errors, 0u);
+}
+
+TEST(NetServerTest, ConcurrentClientsMatchTheStdinPathBitForBit) {
+  // A real (non-constant) model over multiple batches, so any
+  // cross-connection row mixup or reordering flips an output bit.
+  const std::vector<uint32_t> domains = {6, 4, 7, 3};
+  const Dataset data = MakeParityDataset(400, domains, 41);
+  ml::DecisionTree model;
+  ASSERT_TRUE(model.Fit(DataView(&data)).ok());
+
+  ScopedThreads scoped("4");
+
+  // Each client streams a DIFFERENT request sequence — identical
+  // streams would mask a cross-connection mixup (swapped rows would
+  // still produce the right bytes). Ground truth per client is the
+  // pinned single-stream path.
+  constexpr int kClients = 4;
+  std::vector<std::string> requests(kClients);
+  std::vector<std::string> expected(kClients);
+  uint64_t total_rows = 0;
+  for (int i = 0; i < kClients; ++i) {
+    const Dataset reqs =
+        MakeParityDataset(120 + 17 * i, domains, 100 + i);
+    requests[i] = RequestLines(DataView(&reqs));
+    total_rows += reqs.num_rows();
+    std::istringstream in(requests[i]);
+    std::ostringstream out, err;
+    serve::ServeConfig config;
+    config.batch_size = 32;
+    const auto summary = serve::ServeStream(model, in, out, err, config);
+    ASSERT_TRUE(summary.ok()) << summary.status().ToString();
+    expected[i] = out.str();
+    ASSERT_FALSE(expected[i].empty());
+  }
+
+  NetServeConfig config;
+  config.batch_size = 32;  // interleaves the clients' rows per batch
+  ServerFixture fixture(model, config);
+
+  std::vector<std::string> responses(kClients);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&, i] {
+      responses[i] = RoundTrip(fixture.port(), requests[i]);
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  for (int i = 0; i < kClients; ++i) {
+    EXPECT_EQ(responses[i], expected[i]) << "client " << i;
+  }
+
+  const auto summary = fixture.Stop();
+  ASSERT_TRUE(summary.ok()) << summary.status().ToString();
+  EXPECT_EQ(summary.value().rows, total_rows);
+  EXPECT_EQ(summary.value().errors, 0u);
+}
+
+TEST(NetServerTest, HealthzAnswersWhileAnotherConnectionIsServing) {
+  const Dataset data = MakeParityDataset(80, {5, 4}, 7);
+  ml::MajorityClassifier model;
+  ASSERT_TRUE(model.Fit(DataView(&data)).ok());
+
+  ServerFixture fixture(model);
+
+  // Connection A stays open mid-stream (no EOF, rows possibly parked in
+  // a partial batch); the probe must still answer immediately.
+  Result<Socket> a = ConnectTcp("127.0.0.1", fixture.port());
+  ASSERT_TRUE(a.ok());
+  const std::string some = "1 2\n3 1\n";
+  ASSERT_TRUE(SendAll(a.value().fd(), some.data(), some.size()).ok());
+
+  const std::string health = RoundTrip(fixture.port(), "/healthz\n");
+  EXPECT_EQ(health.rfind("OK model=", 0), 0u) << health;
+  EXPECT_NE(health.find(" rows="), std::string::npos);
+  EXPECT_NE(health.find(" errors="), std::string::npos);
+
+  // Unknown commands are per-connection errors, not crashes.
+  const std::string unknown = RoundTrip(fixture.port(), "/reboot\n");
+  EXPECT_EQ(unknown.rfind("ERR 1: ", 0), 0u) << unknown;
+  EXPECT_NE(unknown.find("unknown command"), std::string::npos);
+
+  a.value().ShutdownWrite();
+  const auto summary = fixture.Stop();
+  ASSERT_TRUE(summary.ok()) << summary.status().ToString();
+}
+
+TEST(NetServerTest, BadLinesAreIsolatedPerConnection) {
+  const Dataset data = MakeParityDataset(80, {5, 4}, 7);
+  ml::MajorityClassifier model;
+  ASSERT_TRUE(model.Fit(DataView(&data)).ok());
+
+  ServerFixture fixture(model);
+
+  // Garbage interleaved with good rows: one response per request line,
+  // in order, and the connection survives (server-side skip semantics).
+  const std::string mixed = RoundTrip(fixture.port(),
+                                      "nope\n1 2\n9 2\n3 1\n");
+  std::istringstream is(mixed);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(is, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 4u) << mixed;
+  EXPECT_EQ(lines[0].rfind("ERR 1: ", 0), 0u);
+  EXPECT_TRUE(lines[1] == "0" || lines[1] == "1");
+  EXPECT_EQ(lines[2].rfind("ERR 3: ", 0), 0u);
+  EXPECT_NE(lines[2].find("domain"), std::string::npos);
+  EXPECT_TRUE(lines[3] == "0" || lines[3] == "1");
+
+  // A clean connection at the same time sees no trace of the errors.
+  const std::string clean = RoundTrip(fixture.port(), "1 2\n");
+  EXPECT_TRUE(clean == "0\n" || clean == "1\n") << clean;
+
+  const auto summary = fixture.Stop();
+  ASSERT_TRUE(summary.ok());
+  EXPECT_EQ(summary.value().errors, 2u);
+}
+
+TEST(NetServerTest, ErrorBudgetClosesOnlyTheOffendingConnection) {
+  const Dataset data = MakeParityDataset(80, {5, 4}, 7);
+  ml::MajorityClassifier model;
+  ASSERT_TRUE(model.Fit(DataView(&data)).ok());
+
+  NetServeConfig config;
+  config.max_errors = 1;  // second rejected line trips the budget
+  ServerFixture fixture(model, config);
+
+  const std::string noisy = RoundTrip(fixture.port(),
+                                      "bad\nworse\n1 2\n");
+  std::istringstream is(noisy);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(is, line)) lines.push_back(line);
+  // ERR for each reject, then the final budget notice — and no
+  // response for the good line that followed the cutoff.
+  ASSERT_EQ(lines.size(), 3u) << noisy;
+  EXPECT_EQ(lines[0].rfind("ERR 1: ", 0), 0u);
+  EXPECT_EQ(lines[1].rfind("ERR 2: ", 0), 0u);
+  EXPECT_NE(lines[2].find("error budget exceeded"), std::string::npos);
+
+  // Unrelated connections keep serving.
+  const std::string clean = RoundTrip(fixture.port(), "1 2\n");
+  EXPECT_TRUE(clean == "0\n" || clean == "1\n") << clean;
+
+  const auto summary = fixture.Stop();
+  ASSERT_TRUE(summary.ok());
+}
+
+TEST(NetServerTest, ShutdownClosesStillOpenConnectionsAfterServing) {
+  const Dataset data = MakeParityDataset(80, {5, 4}, 7);
+  ml::MajorityClassifier model;
+  ASSERT_TRUE(model.Fit(DataView(&data)).ok());
+
+  ServerFixture fixture(model);
+
+  // The client never half-closes. Responses must still arrive promptly
+  // (the loop flushes a partial batch as soon as the queue goes idle —
+  // a quiet stream is not held hostage to batch_size)...
+  Result<Socket> sock = ConnectTcp("127.0.0.1", fixture.port());
+  ASSERT_TRUE(sock.ok());
+  const std::string reqs = "1 2\n3 1\n0 3\n";
+  ASSERT_TRUE(SendAll(sock.value().fd(), reqs.data(), reqs.size()).ok());
+  std::string response;
+  char buf[256];
+  ssize_t n;
+  while (response.size() < 6 &&
+         (n = ::read(sock.value().fd(), buf, sizeof(buf))) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  std::istringstream is(response);
+  std::string line;
+  size_t preds = 0;
+  while (std::getline(is, line)) {
+    EXPECT_TRUE(line == "0" || line == "1") << line;
+    ++preds;
+  }
+  EXPECT_EQ(preds, 3u) << response;
+
+  // ...and graceful shutdown must then cut this still-open connection
+  // (the drain wakes its reader and half-closes once responses are out)
+  // rather than hang waiting for a client EOF that never comes.
+  const auto summary = fixture.Stop();  // SIGTERM equivalent
+  ASSERT_TRUE(summary.ok()) << summary.status().ToString();
+  EXPECT_EQ(summary.value().rows, 3u);
+  EXPECT_EQ(::read(sock.value().fd(), buf, sizeof(buf)), 0)
+      << "expected EOF after shutdown";
+}
+
+}  // namespace
+}  // namespace hamlet

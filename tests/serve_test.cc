@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -310,6 +311,13 @@ TEST(ServeTest, OnErrorEnvKnobs) {
     ScopedEnvVar env("HAMLET_SERVE_MAX_ERRORS", "-1");
     EXPECT_EQ(serve::ConfiguredMaxErrors(), serve::kUnlimitedErrors);
   }
+  {
+    // 0 is a real budget (tolerate no errors), not the old "invalid,
+    // fall back to unlimited" — a zero-tolerance deployment must be
+    // expressible.
+    ScopedEnvVar env("HAMLET_SERVE_MAX_ERRORS", "0");
+    EXPECT_EQ(serve::ConfiguredMaxErrors(), 0u);
+  }
 
   // The env drives ServeStream end to end when the config says kEnv.
   const Dataset data = MakeParityDataset(80, {5, 4}, 7);
@@ -340,6 +348,122 @@ std::unique_ptr<ml::MajorityClassifier> MakeConstantModel(uint8_t label) {
   auto model = std::make_unique<ml::MajorityClassifier>();
   EXPECT_TRUE(model->Fit(DataView(&data)).ok());
   return model;
+}
+
+TEST(ServeTest, ZeroErrorBudgetAbortsOnFirstRejectedLine) {
+  const Dataset data = MakeParityDataset(80, {5, 4}, 7);
+  ml::MajorityClassifier model;
+  ASSERT_TRUE(model.Fit(DataView(&data)).ok());
+
+  std::istringstream in("1 2\nbad\n3 1\n");
+  std::ostringstream out, err;
+  serve::ServeConfig config;
+  config.on_error = serve::OnError::kSkip;
+  config.max_errors = 0;  // explicitly zero, not "unset"
+  const auto summary = serve::ServeStream(model, in, out, err, config);
+  ASSERT_FALSE(summary.ok());
+  EXPECT_EQ(summary.status().code(), StatusCode::kOutOfRange);
+  EXPECT_NE(summary.status().message().find("error budget exceeded"),
+            std::string::npos);
+}
+
+TEST(ServeTest, LiveTickerFinishBlanksTheWidestPaintedLine) {
+  std::ostringstream os;
+  serve::LiveTicker ticker(os, /*enabled=*/true,
+                           std::chrono::milliseconds(0));
+  serve::LatencyStats stats;
+  // A huge rows count and a tiny batch time make ops/s astronomically
+  // wide: the painted line overflows the 100 columns the old Finish
+  // blanked, which left stale ticker text on screen after the summary.
+  stats.RecordBatch(static_cast<size_t>(1) << 60, 1e-12);
+  ticker.MaybeTick(stats);
+  const size_t width = ticker.painted_width();
+  EXPECT_GT(width, 100u);
+  const size_t before = os.str().size();
+  ticker.Finish();
+  // Finish must blank exactly the widest painted line, no more, no less.
+  EXPECT_EQ(os.str().substr(before),
+            "\r" + std::string(width, ' ') + "\r");
+}
+
+/// MajorityClassifier that reports its destruction: the probe for the
+/// hot-reload lifetime contract (a displaced model must outlive the
+/// poll call that displaced it).
+class DestructionProbe : public ml::MajorityClassifier {
+ public:
+  explicit DestructionProbe(bool* destroyed) : destroyed_(destroyed) {}
+  ~DestructionProbe() override { *destroyed_ = true; }
+
+ private:
+  bool* destroyed_;
+};
+
+/// Fits a DestructionProbe over domains {5, 4} predicting `label`.
+std::unique_ptr<DestructionProbe> MakeConstantProbe(uint8_t label,
+                                                    bool* destroyed) {
+  std::vector<FeatureSpec> specs(2);
+  specs[0] = {"f0", 5, FeatureRole::kHome};
+  specs[1] = {"f1", 4, FeatureRole::kHome};
+  Dataset data(std::move(specs));
+  data.Reserve(8);
+  for (size_t i = 0; i < 8; ++i) {
+    data.AppendRowUnchecked({static_cast<uint32_t>(i % 5),
+                             static_cast<uint32_t>(i % 4)},
+                            label);
+  }
+  auto model = std::make_unique<DestructionProbe>(destroyed);
+  EXPECT_TRUE(model->Fit(DataView(&data)).ok());
+  return model;
+}
+
+TEST(ServeTest, ModelSlotKeepsDisplacedModelAliveUntilNextSwap) {
+  bool a_destroyed = false, b_destroyed = false, c_destroyed = false;
+  serve::ModelSlot slot(MakeConstantProbe(0, &a_destroyed));
+  const ml::Classifier* a = slot.current();
+
+  const ml::Classifier* b =
+      slot.Swap(MakeConstantProbe(1, &b_destroyed));
+  EXPECT_EQ(slot.current(), b);
+  EXPECT_NE(a, b);
+  // The regression: the old reload hook did `current = move(fresh)`,
+  // destroying A inside the poll call while ServeStream still held the
+  // raw pointer it polled with. The slot must park A instead.
+  EXPECT_FALSE(a_destroyed);
+
+  slot.Swap(MakeConstantProbe(0, &c_destroyed));
+  EXPECT_TRUE(a_destroyed);   // retired by the *following* swap only
+  EXPECT_FALSE(b_destroyed);  // now parked in the retired slot
+  EXPECT_FALSE(c_destroyed);
+}
+
+TEST(ServeTest, ModelSlotReloadPollKeepsServingModelValidMidCall) {
+  bool a_destroyed = false, b_destroyed = false;
+  serve::ModelSlot slot(MakeConstantProbe(0, &a_destroyed));
+
+  std::istringstream in("1 2\n3 1\n0 3\n2 0\n");
+  std::ostringstream out, err;
+  serve::ServeConfig config;
+  config.batch_size = 2;
+  size_t polls = 0;
+  config.model_poll = [&]() -> const ml::Classifier* {
+    if (++polls != 2) return nullptr;
+    // Swap mid-call, the way hamlet_serve's SIGHUP hook does. Under
+    // ASan this is also a use-after-free canary: ServeStream's `active`
+    // pointer (model A) must still be alive right now.
+    const ml::Classifier* fresh =
+        slot.Swap(MakeConstantProbe(1, &b_destroyed));
+    EXPECT_FALSE(a_destroyed);
+    return fresh;
+  };
+  const auto summary = serve::ServeStream(*slot.current(), in, out, err,
+                                          config);
+  ASSERT_TRUE(summary.ok()) << summary.status().ToString();
+  EXPECT_EQ(polls, 2u);
+  // Batch 1 served by A (label 0), batch 2 by the swapped-in B.
+  EXPECT_EQ(OutputLines(out.str()),
+            (std::vector<std::string>{"0", "0", "1", "1"}));
+  EXPECT_FALSE(a_destroyed);  // still parked in the slot
+  EXPECT_FALSE(b_destroyed);
 }
 
 TEST(ServeTest, ModelPollHotSwapsAtBatchBoundary) {
