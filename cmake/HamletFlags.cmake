@@ -44,3 +44,19 @@ if(HAMLET_TSAN)
   target_compile_definitions(hamlet_flags INTERFACE HAMLET_CHECK_BOUNDS=1)
   message(STATUS "hamlet: building with ThreadSanitizer")
 endif()
+
+# Clang's thread-safety analysis checks the HAMLET_GUARDED_BY/
+# HAMLET_REQUIRES annotations (common/thread_annotations.h) at compile
+# time. Combined with the project-wide -Werror, any lock-discipline
+# violation is a build break. The analysis only exists in clang; gcc
+# builds compile the annotations as no-ops, so this mode is a hard error
+# elsewhere rather than a silent no-op.
+if(HAMLET_THREAD_SAFETY)
+  if(NOT CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+    message(FATAL_ERROR
+      "HAMLET_THREAD_SAFETY requires clang (-Wthread-safety is a clang "
+      "analysis; gcc builds treat the annotations as no-ops)")
+  endif()
+  target_compile_options(hamlet_flags INTERFACE -Wthread-safety)
+  message(STATUS "hamlet: clang thread-safety analysis enabled")
+endif()

@@ -1,0 +1,19 @@
+// Portable function/type attributes used across hamlet.
+//
+// HAMLET_NODISCARD marks types and functions whose return value is an
+// error channel: dropping it on the floor silently swallows a failure
+// (the exact bug class the fault-injection suite exists to surface).
+// Status, Result<T> and every Status-returning API carry it, so a
+// discarded error is a -Werror build break on every supported compiler,
+// not a code-review catch. Intentional discards must say so with a
+// `(void)` cast — grep-able, and a statement of intent in review.
+
+#ifndef HAMLET_COMMON_ATTRIBUTES_H_
+#define HAMLET_COMMON_ATTRIBUTES_H_
+
+// C++17 guarantees [[nodiscard]]; the macro exists so the intent reads
+// uniformly at every marked declaration and a future port (pre-17
+// embedded toolchain, attribute-hostile tooling) has one knob to turn.
+#define HAMLET_NODISCARD [[nodiscard]]
+
+#endif  // HAMLET_COMMON_ATTRIBUTES_H_

@@ -7,7 +7,9 @@
 #include <mutex>
 
 #include "hamlet/common/logging.h"
+#include "hamlet/common/mutex.h"
 #include "hamlet/common/stringx.h"
+#include "hamlet/common/thread_annotations.h"
 
 namespace hamlet {
 namespace fault {
@@ -25,12 +27,12 @@ struct SiteRule {
 };
 
 struct FaultState {
-  std::mutex mu;
-  uint64_t seed = 1;
-  std::map<std::string, SiteRule> rules;
+  Mutex mu;
+  uint64_t seed HAMLET_GUARDED_BY(mu) = 1;
+  std::map<std::string, SiteRule> rules HAMLET_GUARDED_BY(mu);
   /// Calls observed at sites with no rule installed, so CallCount still
   /// reports probe traffic during sweeps.
-  std::map<std::string, uint64_t> passive_calls;
+  std::map<std::string, uint64_t> passive_calls HAMLET_GUARDED_BY(mu);
 };
 
 FaultState& State() {
@@ -68,7 +70,8 @@ double FireDraw(uint64_t seed, const std::string& site, uint64_t call) {
 }
 
 /// Parses one "site:trigger" or "seed=N" clause into `state`.
-Status ParseClause(const std::string& clause, FaultState& state) {
+Status ParseClause(const std::string& clause, FaultState& state)
+    HAMLET_REQUIRES(state.mu) {
   if (clause.rfind("seed=", 0) == 0) {
     const std::string value = clause.substr(5);
     char* end = nullptr;
@@ -134,7 +137,8 @@ Status ParseClause(const std::string& clause, FaultState& state) {
 }
 
 /// Parses and installs under the caller-held lock.
-Status InstallLocked(const std::string& spec, FaultState& state) {
+Status InstallLocked(const std::string& spec, FaultState& state)
+    HAMLET_REQUIRES(state.mu) {
   state.seed = 1;
   state.rules.clear();
   state.passive_calls.clear();
@@ -153,7 +157,7 @@ Status InstallLocked(const std::string& spec, FaultState& state) {
   return Status::OK();
 }
 
-Status LoadEnvLocked(FaultState& state) {
+Status LoadEnvLocked(FaultState& state) HAMLET_REQUIRES(state.mu) {
   const char* env = std::getenv("HAMLET_FAULT_SPEC");
   const std::string spec = env == nullptr ? "" : env;
   const Status st = InstallLocked(spec, state);
@@ -168,7 +172,7 @@ Status LoadEnvLocked(FaultState& state) {
 void EnsureEnvLoaded() {
   std::call_once(g_env_once, [] {
     FaultState& state = State();
-    std::lock_guard<std::mutex> lock(state.mu);
+    MutexLock lock(state.mu);
     (void)LoadEnvLocked(state);
   });
 }
@@ -183,7 +187,7 @@ bool Enabled() {
 bool ShouldFail(const char* site) {
   if (!Enabled()) return false;
   FaultState& state = State();
-  std::lock_guard<std::mutex> lock(state.mu);
+  MutexLock lock(state.mu);
   auto it = state.rules.find(site);
   if (it == state.rules.end()) {
     ++state.passive_calls[site];
@@ -213,21 +217,21 @@ Status Inject(const char* site, const std::string& detail) {
 Status InstallSpec(const std::string& spec) {
   EnsureEnvLoaded();  // consume the env exactly once, before overriding
   FaultState& state = State();
-  std::lock_guard<std::mutex> lock(state.mu);
+  MutexLock lock(state.mu);
   return InstallLocked(spec, state);
 }
 
 Status LoadSpecFromEnv() {
   EnsureEnvLoaded();
   FaultState& state = State();
-  std::lock_guard<std::mutex> lock(state.mu);
+  MutexLock lock(state.mu);
   return LoadEnvLocked(state);
 }
 
 void Clear() {
   EnsureEnvLoaded();
   FaultState& state = State();
-  std::lock_guard<std::mutex> lock(state.mu);
+  MutexLock lock(state.mu);
   (void)InstallLocked("", state);
 }
 
@@ -241,7 +245,7 @@ const std::vector<std::string>& KnownSites() {
 
 uint64_t CallCount(const std::string& site) {
   FaultState& state = State();
-  std::lock_guard<std::mutex> lock(state.mu);
+  MutexLock lock(state.mu);
   auto it = state.rules.find(site);
   if (it != state.rules.end()) return it->second.calls;
   auto passive = state.passive_calls.find(site);
@@ -250,7 +254,7 @@ uint64_t CallCount(const std::string& site) {
 
 uint64_t FireCount(const std::string& site) {
   FaultState& state = State();
-  std::lock_guard<std::mutex> lock(state.mu);
+  MutexLock lock(state.mu);
   auto it = state.rules.find(site);
   return it == state.rules.end() ? 0 : it->second.fires;
 }

@@ -44,6 +44,7 @@
 #include <vector>
 
 #include "hamlet/common/status.h"
+#include "hamlet/common/attributes.h"
 
 namespace hamlet {
 namespace fault {
@@ -71,19 +72,20 @@ bool ShouldFail(const char* site);
 /// Unavailable("injected fault at <site>: <detail>") when it does —
 /// Unavailable because injected faults model transient conditions (the
 /// retry wrappers key on it).
-Status Inject(const char* site, const std::string& detail = "");
+HAMLET_NODISCARD Status Inject(const char* site,
+                               const std::string& detail = "");
 
 /// Installs `spec` (the HAMLET_FAULT_SPEC grammar above), replacing any
 /// previous spec and resetting all counters. An empty spec disables
 /// injection. Unknown sites and malformed clauses are InvalidArgument
 /// and leave injection disabled.
-Status InstallSpec(const std::string& spec);
+HAMLET_NODISCARD Status InstallSpec(const std::string& spec);
 
 /// Re-reads HAMLET_FAULT_SPEC and installs it (unset/empty disables).
 /// The first ShouldFail/Enabled call does this implicitly once; tests
 /// that set the variable later call this to pick it up. A malformed env
 /// spec warns on stderr once per distinct value and disables injection.
-Status LoadSpecFromEnv();
+HAMLET_NODISCARD Status LoadSpecFromEnv();
 
 /// Disables injection and resets all counters.
 void Clear();

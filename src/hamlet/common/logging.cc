@@ -1,16 +1,31 @@
 #include "hamlet/common/logging.h"
 
-#include <mutex>
 #include <unordered_set>
+
+#include "hamlet/common/mutex.h"
+#include "hamlet/common/thread_annotations.h"
 
 namespace hamlet {
 
-bool FirstOccurrence(const std::string& key) {
-  static std::mutex mu;
+namespace {
+
+Mutex g_seen_mu;
+
+/// The process-wide set of observed keys. Function-local static (leaked:
+/// usable at exit) behind a REQUIRES helper so every access provably
+/// happens under g_seen_mu.
+std::unordered_set<std::string>& SeenKeysLocked()
+    HAMLET_REQUIRES(g_seen_mu) {
   static std::unordered_set<std::string>* seen =
-      new std::unordered_set<std::string>();  // leaked: usable at exit
-  std::lock_guard<std::mutex> lock(mu);
-  return seen->insert(key).second;
+      new std::unordered_set<std::string>();
+  return *seen;
+}
+
+}  // namespace
+
+bool FirstOccurrence(const std::string& key) {
+  MutexLock lock(g_seen_mu);
+  return SeenKeysLocked().insert(key).second;
 }
 
 }  // namespace hamlet

@@ -2,16 +2,18 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include "hamlet/common/logging.h"
+#include "hamlet/common/mutex.h"
+#include "hamlet/common/thread_annotations.h"
 
 namespace hamlet {
 namespace parallel {
@@ -65,16 +67,21 @@ struct ThreadPool::Impl {
   explicit Impl(size_t num_threads) : num_threads(num_threads) {}
 
   ~Impl() {
+    // Lock discipline: swap the worker list out under `mu`, join
+    // outside it — joining under the mutex would deadlock against
+    // workers re-acquiring it to exit their wait.
+    std::vector<std::thread> to_join;
     {
-      std::lock_guard<std::mutex> lock(mu);
+      MutexLock lock(mu);
       stop = true;
+      to_join.swap(workers);
     }
-    work_cv.notify_all();
-    for (std::thread& t : workers) t.join();
+    work_cv.NotifyAll();
+    for (std::thread& t : to_join) t.join();
   }
 
-  /// Spawns the T-1 workers. Called under `mu` on first submission.
-  void StartWorkers() {
+  /// Spawns the T-1 workers on the first submission.
+  void StartWorkersLocked() HAMLET_REQUIRES(mu) {
     started = true;
     workers.reserve(num_threads - 1);
     for (size_t w = 0; w + 1 < num_threads; ++w) {
@@ -84,19 +91,23 @@ struct ThreadPool::Impl {
 
   void WorkerLoop() {
     tls_in_parallel_region = true;
-    std::unique_lock<std::mutex> lock(mu);
     uint64_t seen = 0;
+    mu.Lock();
     for (;;) {
-      work_cv.wait(lock, [&] { return stop || generation != seen; });
-      if (stop) return;
+      // Explicit wait loop (not a predicate lambda): the condition
+      // reads guarded members, which the analysis can only verify
+      // inside this annotated function body.
+      while (!stop && generation == seen) work_cv.Wait(mu);
+      if (stop) break;
       seen = generation;
       std::shared_ptr<Job> claimed = job;
       ++active;
-      lock.unlock();
+      mu.Unlock();
       RunChunks(*claimed);
-      lock.lock();
-      if (--active == 0) done_cv.notify_one();
+      mu.Lock();
+      if (--active == 0) done_cv.NotifyOne();
     }
+    mu.Unlock();
   }
 
   /// Claims chunks off the job's cursor until its range is exhausted.
@@ -109,7 +120,7 @@ struct ThreadPool::Impl {
         try {
           (*j.body)(i);
         } catch (...) {
-          std::lock_guard<std::mutex> lock(error_mu);
+          MutexLock lock(error_mu);
           if (!error) error = std::current_exception();
         }
       }
@@ -117,21 +128,23 @@ struct ThreadPool::Impl {
   }
 
   const size_t num_threads;
-  std::vector<std::thread> workers;
 
-  std::mutex submit_mu;  // serializes concurrent external submissions
+  Mutex submit_mu;  // serializes concurrent external submissions
 
-  std::mutex mu;  // guards everything below
-  std::condition_variable work_cv;
-  std::condition_variable done_cv;
-  bool stop = false;
-  bool started = false;
-  uint64_t generation = 0;
-  size_t active = 0;  // workers currently inside RunChunks
-  std::shared_ptr<Job> job;  // current submission
+  Mutex mu;
+  CondVar work_cv;
+  CondVar done_cv;
+  std::vector<std::thread> workers HAMLET_GUARDED_BY(mu);
+  bool stop HAMLET_GUARDED_BY(mu) = false;
+  bool started HAMLET_GUARDED_BY(mu) = false;
+  uint64_t generation HAMLET_GUARDED_BY(mu) = 0;
+  /// Workers currently inside RunChunks.
+  size_t active HAMLET_GUARDED_BY(mu) = 0;
+  /// Current submission.
+  std::shared_ptr<Job> job HAMLET_GUARDED_BY(mu);
 
-  std::mutex error_mu;
-  std::exception_ptr error;
+  Mutex error_mu;
+  std::exception_ptr error HAMLET_GUARDED_BY(error_mu);
 };
 
 ThreadPool::ThreadPool(size_t num_threads)
@@ -147,7 +160,7 @@ void ThreadPool::For(size_t n, const std::function<void(size_t)>& body) {
     return;
   }
 
-  std::lock_guard<std::mutex> submit(impl_->submit_mu);
+  MutexLock submit(impl_->submit_mu);
   auto job = std::make_shared<Impl::Job>();
   job->n = n;
   // Chunks several times smaller than a fair share keep the tail
@@ -155,12 +168,12 @@ void ThreadPool::For(size_t n, const std::function<void(size_t)>& body) {
   job->chunk = std::max<size_t>(1, n / (num_threads_ * 8));
   job->body = &body;
   {
-    std::lock_guard<std::mutex> lock(impl_->mu);
-    if (!impl_->started) impl_->StartWorkers();
+    MutexLock lock(impl_->mu);
+    if (!impl_->started) impl_->StartWorkersLocked();
     impl_->job = job;
     ++impl_->generation;
   }
-  impl_->work_cv.notify_all();
+  impl_->work_cv.NotifyAll();
 
   tls_in_parallel_region = true;
   impl_->RunChunks(*job);
@@ -171,11 +184,11 @@ void ThreadPool::For(size_t n, const std::function<void(size_t)>& body) {
     // The cursor is exhausted once our RunChunks returns; waiting for
     // `active == 0` under `mu` both drains in-flight workers and
     // publishes their body side effects to this thread.
-    std::unique_lock<std::mutex> lock(impl_->mu);
-    impl_->done_cv.wait(lock, [&] { return impl_->active == 0; });
+    MutexLock lock(impl_->mu);
+    while (impl_->active != 0) impl_->done_cv.Wait(impl_->mu);
   }
   {
-    std::lock_guard<std::mutex> lock(impl_->error_mu);
+    MutexLock lock(impl_->error_mu);
     std::swap(error, impl_->error);
   }
   if (error) std::rethrow_exception(error);
@@ -193,13 +206,13 @@ Status ThreadPool::ForStatus(size_t n,
     return Status::OK();
   }
 
-  std::mutex first_mu;
+  Mutex first_mu;
   size_t first_index = n;
   Status first_status;
   For(n, [&](size_t i) {
     Status st = body(i);
     if (!st.ok()) {
-      std::lock_guard<std::mutex> lock(first_mu);
+      MutexLock lock(first_mu);
       if (i < first_index) {
         first_index = i;
         first_status = std::move(st);
@@ -211,13 +224,14 @@ Status ThreadPool::ForStatus(size_t n,
 
 namespace {
 
-std::mutex g_default_pool_mu;
-std::unique_ptr<ThreadPool> g_default_pool;
+Mutex g_default_pool_mu;
+std::unique_ptr<ThreadPool> g_default_pool
+    HAMLET_GUARDED_BY(g_default_pool_mu);
 
 }  // namespace
 
 ThreadPool& DefaultPool() {
-  std::lock_guard<std::mutex> lock(g_default_pool_mu);
+  MutexLock lock(g_default_pool_mu);
   if (g_default_pool == nullptr) {
     g_default_pool = std::make_unique<ThreadPool>(ConfiguredThreads());
   }
@@ -234,7 +248,7 @@ Status ParallelForStatus(size_t n,
 }
 
 void ResetDefaultPoolForTesting() {
-  std::lock_guard<std::mutex> lock(g_default_pool_mu);
+  MutexLock lock(g_default_pool_mu);
   g_default_pool.reset();
 }
 

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "hamlet/common/status.h"
+#include "hamlet/common/attributes.h"
 
 namespace hamlet {
 namespace parallel {
@@ -66,7 +67,8 @@ class ThreadPool {
   /// the exact serial protocol (stops at the first error, which is the
   /// lowest-index error by construction); at higher thread counts all
   /// indices execute but the returned Status is identical.
-  Status ForStatus(size_t n, const std::function<Status(size_t)>& body);
+  HAMLET_NODISCARD Status ForStatus(
+      size_t n, const std::function<Status(size_t)>& body);
 
   /// Maps fn over [0, n) into a vector ordered by index. T must be
   /// default-constructible and movable.
@@ -88,7 +90,8 @@ ThreadPool& DefaultPool();
 
 /// ParallelFor/ParallelForStatus/ParallelMap on DefaultPool().
 void ParallelFor(size_t n, const std::function<void(size_t)>& body);
-Status ParallelForStatus(size_t n, const std::function<Status(size_t)>& body);
+HAMLET_NODISCARD Status ParallelForStatus(
+    size_t n, const std::function<Status(size_t)>& body);
 
 template <typename T>
 std::vector<T> ParallelMap(size_t n, const std::function<T(size_t)>& fn) {

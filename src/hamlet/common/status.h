@@ -12,6 +12,8 @@
 #include <string>
 #include <utility>
 
+#include "hamlet/common/attributes.h"
+
 namespace hamlet {
 
 /// Error category for a Status.
@@ -33,8 +35,10 @@ enum class StatusCode {
 /// Human-readable name for a StatusCode ("OK", "InvalidArgument", ...).
 const char* StatusCodeName(StatusCode code);
 
-/// Outcome of an operation: OK, or an error code plus message.
-class Status {
+/// Outcome of an operation: OK, or an error code plus message. The
+/// class-level HAMLET_NODISCARD makes discarding any by-value Status a
+/// build break (-Werror); intentional discards use a `(void)` cast.
+class HAMLET_NODISCARD Status {
  public:
   /// Default-constructed Status is OK.
   Status() : code_(StatusCode::kOk) {}
@@ -83,9 +87,10 @@ class Status {
   std::string message_;
 };
 
-/// Value-or-error. Construct from a T or from a non-OK Status.
+/// Value-or-error. Construct from a T or from a non-OK Status. Like
+/// Status, discarding a returned Result discards an error: nodiscard.
 template <typename T>
-class Result {
+class HAMLET_NODISCARD Result {
  public:
   Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
   Result(Status status) : status_(std::move(status)) {  // NOLINT

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "hamlet/common/status.h"
+#include "hamlet/common/attributes.h"
 
 namespace hamlet {
 
@@ -32,7 +33,7 @@ std::string PadLeft(const std::string& s, size_t width);
 /// sign, whitespace, or suffix — strtoull's silent acceptance of "-1"
 /// and "12abc" is exactly what this guards against). Overflow past
 /// 2^64-1 is rejected. The error message names the offending string.
-Result<uint64_t> ParseUnsigned(const std::string& s);
+HAMLET_NODISCARD Result<uint64_t> ParseUnsigned(const std::string& s);
 
 }  // namespace hamlet
 

@@ -1,0 +1,88 @@
+// Portable Clang Thread Safety Analysis annotations.
+//
+// These macros let lock discipline be stated in the type system and
+// proved at compile time: a member declared HAMLET_GUARDED_BY(mu) can
+// only be touched while `mu` is held, a function declared
+// HAMLET_REQUIRES(mu) can only be called with `mu` held, and clang's
+// -Wthread-safety (the HAMLET_THREAD_SAFETY=ON CMake mode, -Werror in
+// CI) turns every violation into a build break. Under compilers without
+// the attributes (gcc, MSVC) every macro expands to nothing, so the
+// annotations are pure documentation there — the same source compiles
+// everywhere and the clang CI job is the enforcement point.
+//
+// The analysis only understands capability-annotated lock types, not
+// std::mutex directly, so guarded members must use hamlet::Mutex /
+// hamlet::MutexLock / hamlet::CondVar from common/mutex.h. Annotate the
+// data, not the code: prefer HAMLET_GUARDED_BY on members plus private
+// `...Locked()` helpers marked HAMLET_REQUIRES over sprinkling
+// HAMLET_NO_THREAD_SAFETY_ANALYSIS escapes — the escape hatch is for
+// the rare function whose discipline the analysis cannot express (and
+// each use should say why in a comment).
+//
+// Naming follows the modern capability-based spelling from the clang
+// docs (acquire/release/requires); docs/ARCHITECTURE.md ("Static
+// analysis & enforced invariants") has the project-level picture.
+
+#ifndef HAMLET_COMMON_THREAD_ANNOTATIONS_H_
+#define HAMLET_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define HAMLET_THREAD_ANNOTATION_(x) __attribute__((x))
+#endif
+#endif
+#ifndef HAMLET_THREAD_ANNOTATION_
+#define HAMLET_THREAD_ANNOTATION_(x)  // no-op off clang
+#endif
+
+/// Marks a class as a lockable capability ("mutex"); required before
+/// GUARDED_BY can name instances of it.
+#define HAMLET_CAPABILITY(x) HAMLET_THREAD_ANNOTATION_(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor
+/// releases a capability (hamlet::MutexLock).
+#define HAMLET_SCOPED_CAPABILITY HAMLET_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Data member readable/writable only while the named mutex is held.
+#define HAMLET_GUARDED_BY(x) HAMLET_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by the named mutex (the
+/// pointer itself may be read freely).
+#define HAMLET_PT_GUARDED_BY(x) HAMLET_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Function callable only while holding the named mutex(es); the body
+/// is analyzed as if they are held. The convention for private helpers
+/// is a `...Locked()` suffix plus this annotation.
+#define HAMLET_REQUIRES(...) \
+  HAMLET_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Function callable only while NOT holding the named mutex(es) —
+/// catches self-deadlock on non-recursive mutexes.
+#define HAMLET_EXCLUDES(...) \
+  HAMLET_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Function that acquires the named capability (held on return).
+#define HAMLET_ACQUIRE(...) \
+  HAMLET_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// Function that releases the named capability (no longer held on
+/// return).
+#define HAMLET_RELEASE(...) \
+  HAMLET_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Function that acquires the capability only when it returns the given
+/// boolean value.
+#define HAMLET_TRY_ACQUIRE(...) \
+  HAMLET_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// Function returning a reference to the named capability (lets
+/// accessors participate in the analysis).
+#define HAMLET_RETURN_CAPABILITY(x) HAMLET_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch: turns the analysis off for one function. Every use
+/// must carry a comment explaining which invariant the analysis cannot
+/// express.
+#define HAMLET_NO_THREAD_SAFETY_ANALYSIS \
+  HAMLET_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // HAMLET_COMMON_THREAD_ANNOTATIONS_H_

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "hamlet/common/status.h"
+#include "hamlet/common/attributes.h"
 #include "hamlet/data/code_matrix.h"
 
 namespace hamlet {
@@ -90,22 +91,23 @@ class ModelReader {
  public:
   explicit ModelReader(std::istream& is) : is_(is) {}
 
-  Status ReadU8(uint8_t* out);
-  Status ReadU32(uint32_t* out);
-  Status ReadU64(uint64_t* out);
-  Status ReadI32(int32_t* out);
-  Status ReadF64(double* out);
-  Status ReadString(std::string* out);
-  Status ReadU8Vec(std::vector<uint8_t>* out);
-  Status ReadU32Vec(std::vector<uint32_t>* out);
-  Status ReadF64Vec(std::vector<double>* out);
-  Status ReadCodeMatrix(CodeMatrix* out);
+  HAMLET_NODISCARD Status ReadU8(uint8_t* out);
+  HAMLET_NODISCARD Status ReadU32(uint32_t* out);
+  HAMLET_NODISCARD Status ReadU64(uint64_t* out);
+  HAMLET_NODISCARD Status ReadI32(int32_t* out);
+  HAMLET_NODISCARD Status ReadF64(double* out);
+  HAMLET_NODISCARD Status ReadString(std::string* out);
+  HAMLET_NODISCARD Status ReadU8Vec(std::vector<uint8_t>* out);
+  HAMLET_NODISCARD Status ReadU32Vec(std::vector<uint32_t>* out);
+  HAMLET_NODISCARD Status ReadF64Vec(std::vector<double>* out);
+  HAMLET_NODISCARD Status ReadCodeMatrix(CodeMatrix* out);
 
   /// Reads `n` bytes and fails unless they equal `expected` (magic /
   /// footer checks); `what` names the field in the error message. A
   /// short read keeps its underlying code (OutOfRange), so retry logic
   /// can tell truncation from a byte mismatch (InvalidArgument).
-  Status ExpectBytes(const char* expected, size_t n, const char* what);
+  HAMLET_NODISCARD Status ExpectBytes(const char* expected, size_t n,
+                                      const char* what);
 
   /// Mirror of the writer's checksum window: BeginChecksum() starts
   /// folding every subsequently read byte into a CRC-32; TakeChecksum()
@@ -115,9 +117,9 @@ class ModelReader {
   uint32_t TakeChecksum();
 
  private:
-  Status ReadBytes(void* data, size_t n);
+  HAMLET_NODISCARD Status ReadBytes(void* data, size_t n);
   /// Reads a u64 length field and validates it against kMaxVectorElements.
-  Status ReadLength(uint64_t* out, const char* what);
+  HAMLET_NODISCARD Status ReadLength(uint64_t* out, const char* what);
 
   std::istream& is_;
   bool checksumming_ = false;

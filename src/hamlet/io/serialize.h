@@ -44,6 +44,7 @@
 #include <string>
 
 #include "hamlet/common/status.h"
+#include "hamlet/common/attributes.h"
 #include "hamlet/ml/classifier.h"
 
 namespace hamlet {
@@ -52,22 +53,25 @@ namespace io {
 /// Writes `model` in the container format. Fails with FailedPrecondition
 /// if the model is unfitted or its family has no serialized form
 /// (ModelFamily::kUnsupported, e.g. the backward-selection wrapper).
-Status SaveModel(const ml::Classifier& model, std::ostream& os);
+HAMLET_NODISCARD Status SaveModel(const ml::Classifier& model,
+                                  std::ostream& os);
 
 /// Reads a model written by SaveModel (format v1 or v2), dispatching on
 /// the family tag. The concrete learner is reconstructed behind the
 /// Classifier interface with its train-domain metadata restored, ready
 /// for PredictAll. A v2 body whose checksum does not match is DataLoss.
-Result<std::unique_ptr<ml::Classifier>> LoadModel(std::istream& is);
+HAMLET_NODISCARD Result<std::unique_ptr<ml::Classifier>> LoadModel(
+    std::istream& is);
 
 /// Atomic + durable file save: temp sibling -> flush/fsync -> rename,
 /// so no partial file is ever observable at `path`. On failure the temp
 /// file is removed and the Status names the path and errno.
-Status SaveModelToFile(const ml::Classifier& model, const std::string& path);
+HAMLET_NODISCARD Status SaveModelToFile(const ml::Classifier& model,
+                                        const std::string& path);
 
 /// File load with I/O error mapping (open failure -> NotFound with path
 /// + errno text).
-Result<std::unique_ptr<ml::Classifier>> LoadModelFromFile(
+HAMLET_NODISCARD Result<std::unique_ptr<ml::Classifier>> LoadModelFromFile(
     const std::string& path);
 
 /// Bounded retry-with-backoff policy for LoadModelFromFileWithRetry.
@@ -83,8 +87,9 @@ struct LoadRetryConfig {
 /// (NotFound, InvalidArgument, DataLoss) return immediately; the last
 /// attempt's Status is returned when retries are exhausted. Backoff
 /// doubles from initial_backoff up to max_backoff between attempts.
-Result<std::unique_ptr<ml::Classifier>> LoadModelFromFileWithRetry(
-    const std::string& path, const LoadRetryConfig& config = {});
+HAMLET_NODISCARD Result<std::unique_ptr<ml::Classifier>>
+LoadModelFromFileWithRetry(const std::string& path,
+                           const LoadRetryConfig& config = {});
 
 }  // namespace io
 }  // namespace hamlet

@@ -16,6 +16,7 @@
 
 #include "hamlet/common/parallel.h"
 #include "hamlet/common/status.h"
+#include "hamlet/common/attributes.h"
 #include "hamlet/data/code_matrix.h"
 #include "hamlet/data/view.h"
 
@@ -85,7 +86,7 @@ class Classifier {
   virtual ~Classifier() = default;
 
   /// Trains on `train`. Must be called before Predict.
-  virtual Status Fit(const DataView& train) = 0;
+  HAMLET_NODISCARD virtual Status Fit(const DataView& train) = 0;
 
   /// Predicts the label of row `i` of `view`. `view` must select the same
   /// feature columns as the training view.
@@ -123,7 +124,7 @@ class Classifier {
   /// model. The matching deserializer is the learner's static
   /// LoadBody(io::ModelReader&, const std::vector<uint32_t>& domains),
   /// which validates the body against the header's domain metadata.
-  virtual Status SaveBody(io::ModelWriter& writer) const;
+  HAMLET_NODISCARD virtual Status SaveBody(io::ModelWriter& writer) const;
 
   /// Per-feature domain sizes of the training view, captured by every
   /// Fit via RecordTrainDomains. Serialized in the model header so a

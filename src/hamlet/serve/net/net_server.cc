@@ -23,41 +23,43 @@ constexpr std::chrono::milliseconds kPollInterval(50);
 // RequestQueue
 
 void NetServer::RequestQueue::Push(Request req) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // EOF/error markers always fit: a reader must be able to announce its
   // exit even at capacity, or shutdown could deadlock against a full
   // queue.
   if (req.kind == Request::Kind::kLine) {
-    not_full_.wait(lock, [this] { return items_.size() < capacity_; });
+    while (items_.size() >= capacity_) not_full_.Wait(mu_);
   }
   items_.push_back(std::move(req));
-  not_empty_.notify_one();
+  not_empty_.NotifyOne();
 }
 
 bool NetServer::RequestQueue::PopWithTimeout(
     Request& req, std::chrono::milliseconds timeout) {
-  std::unique_lock<std::mutex> lock(mu_);
-  if (!not_empty_.wait_for(lock, timeout,
-                           [this] { return !items_.empty(); })) {
-    return false;
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  MutexLock lock(mu_);
+  while (items_.empty()) {
+    if (!not_empty_.WaitUntil(mu_, deadline) && items_.empty()) {
+      return false;
+    }
   }
   req = std::move(items_.front());
   items_.pop_front();
-  not_full_.notify_one();
+  not_full_.NotifyOne();
   return true;
 }
 
 bool NetServer::RequestQueue::TryPop(Request& req) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (items_.empty()) return false;
   req = std::move(items_.front());
   items_.pop_front();
-  not_full_.notify_one();
+  not_full_.NotifyOne();
   return true;
 }
 
 bool NetServer::RequestQueue::Empty() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return items_.empty();
 }
 
@@ -80,20 +82,33 @@ NetServer::~NetServer() {
   stop_.store(true);
   listener_.ShutdownBoth();
   {
-    std::lock_guard<std::mutex> lock(conns_mu_);
+    MutexLock lock(conns_mu_);
     for (auto& entry : conns_) entry.second->sock.ShutdownBoth();
   }
   if (acceptor_.joinable()) acceptor_.join();
+  // With the acceptor joined no new connection can appear; swap the
+  // survivors out and join their readers OUTSIDE conns_mu_ — a reader
+  // blocked pushing into a full queue needs the drain loop below to
+  // make progress, and holding a lock across join is the discipline
+  // the thread-safety annotations exist to forbid.
+  std::vector<ConnPtr> to_join;
   {
-    std::lock_guard<std::mutex> lock(conns_mu_);
+    MutexLock lock(conns_mu_);
+    to_join.reserve(conns_.size());
     for (auto& entry : conns_) {
-      // Drain any reader blocked on a full queue, then join.
-      Request dropped;
-      while (!entry.second->reader_done.load() && queue_.TryPop(dropped)) {
-      }
-      if (entry.second->reader.joinable()) entry.second->reader.join();
+      // Latecomers accepted just before the listener died still need
+      // their sockets shut down to wake their readers.
+      entry.second->sock.ShutdownBoth();
+      to_join.push_back(entry.second);
     }
     conns_.clear();
+  }
+  for (const ConnPtr& conn : to_join) {
+    // Drain any reader blocked on a full queue, then join.
+    Request dropped;
+    while (!conn->reader_done.load() && queue_.TryPop(dropped)) {
+    }
+    if (conn->reader.joinable()) conn->reader.join();
   }
   for (const ConnPtr& conn : retired_) {
     if (conn->reader.joinable()) conn->reader.join();
@@ -148,7 +163,7 @@ void NetServer::AcceptLoop() {
       // conn first opens a race where a fast reader finishes, the Run()
       // thread reaps it while joinable() is still false, and the
       // assignment then lands a never-joined thread in the struct.
-      std::lock_guard<std::mutex> lock(conns_mu_);
+      MutexLock lock(conns_mu_);
       conns_[conn->id] = conn;
       conn->reader = std::thread([this, conn] { ReaderLoop(conn); });
     }
@@ -190,7 +205,7 @@ void NetServer::ReaderLoop(ConnPtr conn) {
 // Run()-thread request handling
 
 NetServer::ConnPtr NetServer::FindConn(uint64_t id) {
-  std::lock_guard<std::mutex> lock(conns_mu_);
+  MutexLock lock(conns_mu_);
   auto it = conns_.find(id);
   return it == conns_.end() ? nullptr : it->second;
 }
@@ -286,7 +301,7 @@ void NetServer::MaybeRetire(const ConnPtr& conn) {
   // Every response is out: half-close so the client's read loop ends.
   conn->sock.ShutdownWrite();
   {
-    std::lock_guard<std::mutex> lock(conns_mu_);
+    MutexLock lock(conns_mu_);
     conns_.erase(conn->id);
   }
   retired_.push_back(conn);
@@ -376,7 +391,7 @@ Result<StatsSummary> NetServer::Run(std::ostream& err) {
   while (true) {
     std::vector<ConnPtr> live;
     {
-      std::lock_guard<std::mutex> lock(conns_mu_);
+      MutexLock lock(conns_mu_);
       // Latecomer-safe: re-shutdown every pass; a connection accepted
       // just before the listener died still gets woken.
       for (auto& entry : conns_) {

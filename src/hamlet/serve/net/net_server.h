@@ -45,19 +45,20 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "hamlet/common/status.h"
+#include "hamlet/common/attributes.h"
+#include "hamlet/common/mutex.h"
+#include "hamlet/common/thread_annotations.h"
 #include "hamlet/ml/classifier.h"
 #include "hamlet/serve/net/socket.h"
 #include "hamlet/serve/server.h"
@@ -95,7 +96,7 @@ class NetServer {
 
   /// Binds, listens, and starts accepting. Fails without serving if
   /// the port is taken or the model carries no domain metadata.
-  Status Start();
+  HAMLET_NODISCARD Status Start();
 
   /// The bound port (valid after a successful Start).
   uint16_t port() const { return port_; }
@@ -103,7 +104,7 @@ class NetServer {
   /// The batch/write loop: serves until RequestShutdown() or a true
   /// stop_poll, then drains and returns the aggregate summary.
   /// `err` receives the live ticker and per-event log lines.
-  Result<StatsSummary> Run(std::ostream& err);
+  HAMLET_NODISCARD Result<StatsSummary> Run(std::ostream& err);
 
   /// Thread-safe, idempotent; Run() notices within its poll interval.
   void RequestShutdown();
@@ -128,11 +129,11 @@ class NetServer {
     bool Empty();
 
    private:
-    std::mutex mu_;
-    std::condition_variable not_full_;
-    std::condition_variable not_empty_;
-    std::deque<Request> items_;
-    size_t capacity_;
+    Mutex mu_;
+    CondVar not_full_;
+    CondVar not_empty_;
+    std::deque<Request> items_ HAMLET_GUARDED_BY(mu_);
+    const size_t capacity_;
   };
 
   /// Per-connection state. The socket is shared between its reader
@@ -184,10 +185,12 @@ class NetServer {
   std::atomic<bool> started_{false};
 
   RequestQueue queue_;
-  std::mutex conns_mu_;
-  std::map<uint64_t, ConnPtr> conns_;
+  Mutex conns_mu_;
+  std::map<uint64_t, ConnPtr> conns_ HAMLET_GUARDED_BY(conns_mu_);
   std::atomic<uint64_t> next_conn_id_{1};
-  /// Closed connections awaiting their reader join (Run() thread).
+  /// Closed connections awaiting their reader join. Not guarded:
+  /// touched only by the Run() thread and the destructor, which runs
+  /// strictly after Run() returns.
   std::vector<ConnPtr> retired_;
 
   // Batch state, only valid inside Run().

@@ -16,6 +16,7 @@
 #include <string>
 
 #include "hamlet/common/status.h"
+#include "hamlet/common/attributes.h"
 
 namespace hamlet {
 namespace serve {
@@ -58,22 +59,23 @@ class Socket {
 /// Binds and listens on 127.0.0.1:`port` (port 0 = OS-assigned
 /// ephemeral port, read it back with LocalPort). Loopback only: the
 /// front-end is a single-host rung, not an exposure surface.
-Result<Socket> ListenTcp(uint16_t port, int backlog = 64);
+HAMLET_NODISCARD Result<Socket> ListenTcp(uint16_t port, int backlog = 64);
 
 /// The locally bound port of a listening/connected socket.
-Result<uint16_t> LocalPort(const Socket& sock);
+HAMLET_NODISCARD Result<uint16_t> LocalPort(const Socket& sock);
 
 /// Blocking accept. An error after the listener was closed is the
 /// normal shutdown path; callers treat it as "stop accepting".
-Result<Socket> AcceptConnection(const Socket& listener);
+HAMLET_NODISCARD Result<Socket> AcceptConnection(const Socket& listener);
 
 /// Blocking connect to `host`:`port` (numeric IPv4 dotted quad).
-Result<Socket> ConnectTcp(const std::string& host, uint16_t port);
+HAMLET_NODISCARD Result<Socket> ConnectTcp(const std::string& host,
+                                           uint16_t port);
 
 /// Writes all `len` bytes, retrying short writes and EINTR. SIGPIPE is
 /// suppressed (MSG_NOSIGNAL): a vanished peer is a Status, not a
 /// process kill.
-Status SendAll(int fd, const char* data, size_t len);
+HAMLET_NODISCARD Status SendAll(int fd, const char* data, size_t len);
 
 /// Longest accepted request line, including the newline. Longer lines
 /// poison the connection: an unbounded line is either a protocol
@@ -91,7 +93,7 @@ class LineReader {
 
   /// True with `line` filled, false on clean EOF. Oversized lines and
   /// read errors return a Status.
-  Result<bool> ReadLine(std::string& line);
+  HAMLET_NODISCARD Result<bool> ReadLine(std::string& line);
 
  private:
   int fd_;

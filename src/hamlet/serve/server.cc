@@ -151,11 +151,19 @@ Status ValidateReloadedModel(const ml::Classifier& current,
 
 const ml::Classifier* ModelSlot::Swap(
     std::unique_ptr<ml::Classifier> fresh) {
-  // The previously retired model (two swaps old) is the only thing
-  // destroyed here; no live serving loop can still reference it.
-  retired_ = std::move(current_);
-  current_ = std::move(fresh);
-  return current_.get();
+  // The two-swaps-old model must be destroyed outside the lock: its
+  // destructor can be arbitrary learner code, and holding mu_ across it
+  // would stall every concurrent current() poll.
+  std::unique_ptr<ml::Classifier> doomed;
+  const ml::Classifier* installed = nullptr;
+  {
+    MutexLock lock(mu_);
+    doomed = std::move(retired_);
+    retired_ = std::move(current_);
+    current_ = std::move(fresh);
+    installed = current_.get();
+  }
+  return installed;
 }
 
 RequestBatcher::RequestBatcher(

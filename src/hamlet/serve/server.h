@@ -54,6 +54,9 @@
 #include <vector>
 
 #include "hamlet/common/status.h"
+#include "hamlet/common/attributes.h"
+#include "hamlet/common/mutex.h"
+#include "hamlet/common/thread_annotations.h"
 #include "hamlet/data/dataset.h"
 #include "hamlet/ml/classifier.h"
 #include "hamlet/serve/stats.h"
@@ -109,7 +112,7 @@ struct ServeConfig {
 /// line prefix; callers add "request line N: " so the strict Status and
 /// the resilient ERR output line share the reason text. Shared by
 /// ServeStream and the socket front-end so both speak the same grammar.
-Status ParseRequest(const std::string& line,
+HAMLET_NODISCARD Status ParseRequest(const std::string& line,
                     const std::vector<uint32_t>& domains,
                     std::vector<uint32_t>& codes);
 
@@ -143,12 +146,12 @@ class RequestBatcher {
   const std::vector<uint32_t>& domains() const { return domains_; }
 
   /// Queues one validated row; flushes automatically at capacity.
-  Status Add(const std::vector<uint32_t>& codes, uint64_t tag);
+  HAMLET_NODISCARD Status Add(const std::vector<uint32_t>& codes, uint64_t tag);
 
   /// Scores and emits everything pending. No-op when empty; the
   /// model_poll hook fires only when there are rows to serve, keeping
   /// the poll cadence identical to the original single-stream loop.
-  Status Flush();
+  HAMLET_NODISCARD Status Flush();
 
   size_t pending() const { return pending_rows_; }
   const ml::Classifier& active_model() const { return *active_; }
@@ -174,21 +177,34 @@ class RequestBatcher {
 /// previous model must stay valid until the poll call returns, so the
 /// hook must not destroy it mid-call — parking it here defers the
 /// destruction past the swap that retired it.
+///
+/// Thread safety: current() and Swap() synchronize on an internal
+/// mutex, so a reload thread may Swap while the serving loop polls
+/// current() — the poll observes either the old or the new pointer,
+/// never a torn one, and the retirement rule above keeps whichever it
+/// observes alive for the duration of the batch.
 class ModelSlot {
  public:
   explicit ModelSlot(std::unique_ptr<ml::Classifier> model)
       : current_(std::move(model)) {}
 
-  const ml::Classifier* current() const { return current_.get(); }
-  ml::Classifier* current() { return current_.get(); }
+  const ml::Classifier* current() const {
+    MutexLock lock(mu_);
+    return current_.get();
+  }
+  ml::Classifier* current() {
+    MutexLock lock(mu_);
+    return current_.get();
+  }
 
   /// Installs `fresh` as the serving model and returns it. The previous
   /// model is retired, not destroyed: it lives until the next Swap.
   const ml::Classifier* Swap(std::unique_ptr<ml::Classifier> fresh);
 
  private:
-  std::unique_ptr<ml::Classifier> current_;
-  std::unique_ptr<ml::Classifier> retired_;
+  mutable Mutex mu_;
+  std::unique_ptr<ml::Classifier> current_ HAMLET_GUARDED_BY(mu_);
+  std::unique_ptr<ml::Classifier> retired_ HAMLET_GUARDED_BY(mu_);
 };
 
 /// Serves every request line of `in` against `model`, writing one
@@ -196,7 +212,7 @@ class ModelSlot {
 /// Returns the latency/error summary on success. The model must carry
 /// train-domain metadata (any model loaded through io::LoadModel does;
 /// a freshly Fit model does too).
-Result<StatsSummary> ServeStream(const ml::Classifier& model,
+HAMLET_NODISCARD Result<StatsSummary> ServeStream(const ml::Classifier& model,
                                  std::istream& in, std::ostream& out,
                                  std::ostream& err,
                                  const ServeConfig& config = {});
@@ -206,7 +222,7 @@ Result<StatsSummary> ServeStream(const ml::Classifier& model,
 /// exactly (requests already validated against the old header must stay
 /// valid, and learner tables must match the domain the parser enforces).
 /// OK = safe to swap.
-Status ValidateReloadedModel(const ml::Classifier& current,
+HAMLET_NODISCARD Status ValidateReloadedModel(const ml::Classifier& current,
                              const ml::Classifier& candidate);
 
 }  // namespace serve

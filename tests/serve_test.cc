@@ -5,10 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "hamlet/io/serialize.h"
@@ -434,6 +436,34 @@ TEST(ServeTest, ModelSlotKeepsDisplacedModelAliveUntilNextSwap) {
   EXPECT_TRUE(a_destroyed);   // retired by the *following* swap only
   EXPECT_FALSE(b_destroyed);  // now parked in the retired slot
   EXPECT_FALSE(c_destroyed);
+}
+
+TEST(ServeTest, ModelSlotSwapAndCurrentAreThreadSafeUnderTsan) {
+  // Regression (TSan-visible): ModelSlot::current()/Swap() used to
+  // touch the unique_ptr members with no synchronization, so a reload
+  // thread swapping while the serving loop polled current() raced on
+  // the pointer itself. ModelSlot now locks internally; under
+  // -DHAMLET_TSAN=ON this test drives that exact interleaving and must
+  // come up clean. The poller only compares pointers — dereferencing
+  // is governed by the separate park-until-next-swap contract covered
+  // by the two tests around this one.
+  bool scratch = false;  // outlives the slot; every probe dtor hits it
+  serve::ModelSlot slot(MakeConstantProbe(0, &scratch));
+  // Poll through const — the overload the serving loop uses.
+  const serve::ModelSlot& reader_view = slot;
+  std::atomic<bool> done{false};
+  size_t null_polls = 0;
+  std::thread poller([&] {
+    while (!done.load()) {
+      if (reader_view.current() == nullptr) ++null_polls;
+    }
+  });
+  for (int i = 0; i < 500; ++i) {
+    slot.Swap(MakeConstantProbe(static_cast<uint8_t>(i % 2), &scratch));
+  }
+  done.store(true);
+  poller.join();
+  EXPECT_EQ(null_polls, 0u);
 }
 
 TEST(ServeTest, ModelSlotReloadPollKeepsServingModelValidMidCall) {

@@ -1,0 +1,188 @@
+#!/usr/bin/env python3
+"""Self-test for hamlet_lint.py: builds throwaway repo fixtures with one
+seeded violation per rule and asserts the linter (a) fires on each,
+(b) stays quiet on the clean fixture, and (c) honors waiver comments and
+the determinism allowlist. Run via ctest (label: lint) or directly."""
+
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+
+LINT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                    "hamlet_lint.py")
+
+README_WITH = """# fixture
+| variable | default | meaning |
+|---|---|---|
+| `HAMLET_FIXTURE_VAR` | unset | documented and read |
+"""
+
+README_EXTRA_ROW = README_WITH + \
+    "| `HAMLET_GHOST_VAR` | unset | documented but never read |\n"
+
+GETENV_CC = 'const char* v = std::getenv("HAMLET_FIXTURE_VAR");\n'
+
+
+class Fixture:
+    """One throwaway repo root under a shared temp dir."""
+
+    def __init__(self, base, name):
+        self.root = os.path.join(base, name)
+        os.makedirs(os.path.join(self.root, "src", "hamlet"))
+        os.makedirs(os.path.join(self.root, "tests"))
+
+    def write(self, rel, content):
+        path = os.path.join(self.root, rel)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(content)
+        return self
+
+    def lint(self):
+        proc = subprocess.run(
+            [sys.executable, LINT, "--root", self.root],
+            capture_output=True, text=True)
+        return proc.returncode, proc.stdout + proc.stderr
+
+
+FAILURES = []
+
+
+def check(label, cond, detail=""):
+    tag = "ok" if cond else "FAIL"
+    print("%-52s %s" % (label, tag))
+    if not cond:
+        FAILURES.append(label + ("\n" + detail if detail else ""))
+
+
+def main():
+    base = tempfile.mkdtemp(prefix="hamlet_lint_test.")
+    try:
+        # Clean fixture: documented env var + its read site, a registered
+        # test, orderly code. Expect exit 0.
+        clean = (Fixture(base, "clean")
+                 .write("README.md", README_WITH)
+                 .write("src/hamlet/a.cc", GETENV_CC)
+                 .write("tests/a_test.cc", "int main() {}\n")
+                 .write("tests/CMakeLists.txt", "add_executable(t a_test.cc)"))
+        code, out = clean.lint()
+        check("clean fixture passes", code == 0, out)
+
+        # env-docs, drift in both directions.
+        undoc = (Fixture(base, "undoc")
+                 .write("README.md", "# no table\n")
+                 .write("src/hamlet/a.cc", GETENV_CC))
+        code, out = undoc.lint()
+        check("undocumented getenv fires",
+              code == 1 and "HAMLET_FIXTURE_VAR" in out and "env-docs" in out,
+              out)
+
+        ghost = (Fixture(base, "ghost")
+                 .write("README.md", README_EXTRA_ROW)
+                 .write("src/hamlet/a.cc", GETENV_CC))
+        code, out = ghost.lint()
+        check("stale README row fires",
+              code == 1 and "HAMLET_GHOST_VAR" in out, out)
+
+        # Indirect FromEnv-style reads count as sites (no false drift).
+        indirect = (Fixture(base, "indirect")
+                    .write("README.md", README_WITH)
+                    .write("src/hamlet/a.cc",
+                           'bool b = BoolFromEnv("HAMLET_FIXTURE_VAR", 1);\n'))
+        code, out = indirect.lint()
+        check("FromEnv site counts as documented read", code == 0, out)
+
+        # determinism: each banned construct, plus comment/string/waiver/
+        # allowlist suppression.
+        for snippet, what in [
+            ("std::thread t([]{});\n", "std::thread"),
+            ("int r = rand();\n", "rand"),
+            ("std::random_device rd;\n", "random_device"),
+            ("auto t = std::chrono::system_clock::now();\n", "system_clock"),
+            ("long s = time(nullptr);\n", "time()"),
+        ]:
+            fix = Fixture(base, "det_" + what.strip("std:()"))
+            fix.write("src/hamlet/a.cc", snippet)
+            code, out = fix.lint()
+            check("determinism fires on %s" % what,
+                  code == 1 and "determinism" in out, out)
+
+        quiet = (Fixture(base, "det_quiet")
+                 .write("src/hamlet/a.cc",
+                        "// std::thread in a comment is fine\n"
+                        "/* rand() in a block comment too */\n"
+                        'const char* s = "std::random_device";\n'))
+        code, out = quiet.lint()
+        check("comments and strings do not fire", code == 0, out)
+
+        waived = (Fixture(base, "det_waived")
+                  .write("src/hamlet/a.cc",
+                         "std::thread t([]{});"
+                         "  // hamlet-lint: allow(determinism)\n"))
+        code, out = waived.lint()
+        check("determinism waiver suppresses", code == 0, out)
+
+        allowed = (Fixture(base, "det_allowlist")
+                   .write("src/hamlet/common/parallel.cc",
+                          "std::thread t([]{});\n"))
+        code, out = allowed.lint()
+        check("allowlisted file may use std::thread", code == 0, out)
+
+        # unordered-iter: direct range-for over a declared unordered
+        # container fires; a sorted copy does not; waiver suppresses.
+        uiter = (Fixture(base, "uiter")
+                 .write("src/hamlet/a.cc",
+                        "std::unordered_map<int, int> counts;\n"
+                        "for (const auto& kv : counts) Emit(kv);\n"))
+        code, out = uiter.lint()
+        check("unordered iteration fires",
+              code == 1 and "unordered-iter" in out, out)
+
+        uiter_ok = (Fixture(base, "uiter_ok")
+                    .write("src/hamlet/a.cc",
+                           "std::unordered_map<int, int> counts;\n"
+                           "std::vector<int> keys = SortedKeys(counts);\n"
+                           "for (int k : keys) Emit(k);\n"))
+        code, out = uiter_ok.lint()
+        check("iterating a sorted copy passes", code == 0, out)
+
+        uiter_waived = (Fixture(base, "uiter_waived")
+                        .write("src/hamlet/a.cc",
+                               "std::unordered_set<int> seen;\n"
+                               "for (int k : seen) Count(k);"
+                               "  // hamlet-lint: allow(unordered-iter)\n"))
+        code, out = uiter_waived.lint()
+        check("unordered-iter waiver suppresses", code == 0, out)
+
+        # test-reg: an unregistered tests/*_test.cc fires.
+        unreg = (Fixture(base, "unreg")
+                 .write("tests/orphan_test.cc", "int main() {}\n")
+                 .write("tests/CMakeLists.txt", "# nothing registered\n"))
+        code, out = unreg.lint()
+        check("unregistered test suite fires",
+              code == 1 and "test-reg" in out and "orphan_test.cc" in out,
+              out)
+
+        # Bogus root is a usage error, not a silent pass.
+        proc = subprocess.run(
+            [sys.executable, LINT, "--root",
+             os.path.join(base, "does_not_exist")],
+            capture_output=True, text=True)
+        check("nonexistent root is exit 2", proc.returncode == 2,
+              proc.stdout + proc.stderr)
+    finally:
+        shutil.rmtree(base, ignore_errors=True)
+
+    if FAILURES:
+        print("\n%d self-test failure(s):" % len(FAILURES), file=sys.stderr)
+        for f in FAILURES:
+            print("  - " + f, file=sys.stderr)
+        return 1
+    print("\nhamlet_lint self-test: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
