@@ -94,6 +94,7 @@ void RegisterAll() {
 
 int main(int argc, char** argv) {
   const hamlet::bench::SvmStatsScope svm_stats;
+  const hamlet::bench::PackedStatsScope packed_stats;
   bench::PrintHeader(
       "Figure 1: end-to-end runtimes, JoinAll vs NoJoin (expect NoJoin "
       "faster)");
@@ -102,5 +103,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   bench::PrintSvmCacheStats(svm_stats);
+  bench::PrintPackedStats(packed_stats);
   return bench::ExitCode();
 }

@@ -45,6 +45,7 @@ void RunModelPanel(const char* title, bench::SimModel model,
 
 int main() {
   const hamlet::bench::SvmStatsScope svm_stats;
+  const hamlet::bench::PackedStatsScope packed_stats;
   bench::PrintHeader("Figure 3: OneXr vary nR, 1-NN (A) and RBF-SVM (B)");
   const bool full = bench::IsFullMode();
   const std::vector<double> nrs =
@@ -59,5 +60,6 @@ int main() {
       "at nR ~ 10); RBF-SVM NoJoin tracks JoinAll until the tuple ratio\n"
       "falls below ~6 (nR ~ 80+ at nS = 1000 -> 500 train rows).\n");
   bench::PrintSvmCacheStats(svm_stats);
+  bench::PrintPackedStats(packed_stats);
   return bench::ExitCode();
 }

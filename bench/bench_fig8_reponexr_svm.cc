@@ -43,6 +43,7 @@ void RunPanel(const char* title, size_t nr,
 
 int main() {
   const hamlet::bench::SvmStatsScope svm_stats;
+  const hamlet::bench::PackedStatsScope packed_stats;
   bench::PrintHeader("Figure 8: RepOneXr simulations, RBF-SVM");
   const bool full = bench::IsFullMode();
   const std::vector<double> drs = full
@@ -56,5 +57,6 @@ int main() {
       "Expected shape (paper Fig. 8): NoJoin ~ JoinAll in (A); a visible\n"
       "NoJoin deviation opens in (B), the ~5x tuple-ratio regime.\n");
   bench::PrintSvmCacheStats(svm_stats);
+  bench::PrintPackedStats(packed_stats);
   return bench::ExitCode();
 }

@@ -44,6 +44,7 @@ void RunPanel(const char* title, size_t nr,
 
 int main() {
   bench::PrintHeader("Figure 9: RepOneXr simulations, 1-NN");
+  const hamlet::bench::PackedStatsScope packed_stats;
   const bool full = bench::IsFullMode();
   const std::vector<double> drs = full
                                       ? std::vector<double>{1, 6, 11, 16}
@@ -52,6 +53,7 @@ int main() {
   RunPanel("(A) nR = 40 (tuple ratio ~25)", 40, drs);
   RunPanel("(B) nR = 200 (tuple ratio ~5)", 200, drs);
 
+  bench::PrintPackedStats(packed_stats);
   std::printf(
       "Expected shape (paper Fig. 9): 1-NN NoJoin deviates from JoinAll\n"
       "already in (A); both trail NoFK badly in (B).\n");

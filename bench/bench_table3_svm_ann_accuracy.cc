@@ -11,6 +11,7 @@
 
 int main() {
   const hamlet::bench::SvmStatsScope svm_stats;
+  const hamlet::bench::PackedStatsScope packed_stats;
   using namespace hamlet;
   using core::FeatureVariant;
   using core::ModelKind;
@@ -41,5 +42,6 @@ int main() {
       "Yelp drop is smaller for RBF-SVM/ANN (~0.01) than for NB/LR "
       "(~0.03).\n");
   bench::PrintSvmCacheStats(svm_stats);
+  bench::PrintPackedStats(packed_stats);
   return bench::ExitCode();
 }

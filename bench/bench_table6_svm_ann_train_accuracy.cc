@@ -7,6 +7,7 @@
 
 int main() {
   const hamlet::bench::SvmStatsScope svm_stats;
+  const hamlet::bench::PackedStatsScope packed_stats;
   using namespace hamlet;
   using core::FeatureVariant;
   using core::ModelKind;
@@ -35,5 +36,6 @@ int main() {
       "\nExpected shape (paper Table 6): JoinAll ~ NoJoin train accuracy\n"
       "within each model family; kernel SVMs overfit more than linear.\n");
   bench::PrintSvmCacheStats(svm_stats);
+  bench::PrintPackedStats(packed_stats);
   return bench::ExitCode();
 }

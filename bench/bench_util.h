@@ -27,6 +27,7 @@
 #include "hamlet/ml/svm/kernel_cache.h"
 #include "hamlet/ml/svm/svm.h"
 #include "hamlet/ml/tree/decision_tree.h"
+#include "hamlet/simd/simd.h"
 #include "hamlet/synth/realworld.h"
 
 namespace hamlet {
@@ -190,6 +191,53 @@ inline void PrintSvmCacheStats(const SvmStatsScope& scope) {
               static_cast<unsigned long long>(smo.iterations),
               static_cast<unsigned long long>(smo.shrink_events),
               static_cast<unsigned long long>(smo.unshrink_events));
+}
+
+/// Snapshot scope over the process-wide packed-code counters
+/// (simd::GlobalPackedStats), mirroring SvmStatsScope: construct at the
+/// start of main, report deltas at the end.
+class PackedStatsScope {
+ public:
+  PackedStatsScope() : start_(simd::GlobalPackedStats()) {}
+
+  simd::PackedStats Delta() const {
+    const simd::PackedStats now = simd::GlobalPackedStats();
+    simd::PackedStats d;
+    d.builds = now.builds - start_.builds;
+    d.rows = now.rows - start_.rows;
+    d.build_words = now.build_words - start_.build_words;
+    d.evals = now.evals - start_.evals;
+    d.eval_words = now.eval_words - start_.eval_words;
+    return d;
+  }
+
+ private:
+  simd::PackedStats start_;
+};
+
+/// Prints the packed-code layer's counters accumulated since `scope` was
+/// constructed, in a stable, machine-parseable form. The match-counting
+/// benches (1-NN and SVM families) call this after their tables so
+/// run_all.py can record the active backend and packed work volume in
+/// BENCH_results.json across commits (schema v7, see
+/// docs/BENCH_SCHEMA.md). words_per_row is the mean packed row width
+/// (build words / rows packed); n/a when nothing was packed inside the
+/// scope.
+inline void PrintPackedStats(const PackedStatsScope& scope) {
+  const simd::PackedStats d = scope.Delta();
+  std::printf("[packed] backend=%s builds=%llu rows=%llu words_per_row=",
+              simd::BackendName(simd::ActiveBackend()),
+              static_cast<unsigned long long>(d.builds),
+              static_cast<unsigned long long>(d.rows));
+  if (d.rows == 0) {
+    std::printf("n/a");
+  } else {
+    std::printf("%.2f", static_cast<double>(d.build_words) /
+                            static_cast<double>(d.rows));
+  }
+  std::printf(" evals=%llu eval_words=%llu\n",
+              static_cast<unsigned long long>(d.evals),
+              static_cast<unsigned long long>(d.eval_words));
 }
 
 /// Which model a figure bench trains inside its Monte-Carlo loop.

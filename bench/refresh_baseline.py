@@ -27,7 +27,7 @@ import stat
 import subprocess
 import sys
 
-EXPECTED_SCHEMA_VERSION = 6
+EXPECTED_SCHEMA_VERSION = 7
 
 
 def find_bench_binaries(build_dir: str) -> list:

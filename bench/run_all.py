@@ -54,11 +54,22 @@ SERVING_RE = re.compile(
     r"seconds=([0-9.]+) preds_per_sec=([0-9.]+) "
     r"p50_us=([0-9.]+) p99_us=([0-9.]+) errors=(\d+)$")
 
-# Baselines from reports older than this schema lack the serving
-# `errors` counter (v6), the `serving` block itself (pre-v5), or the
-# smo/svm_cache semantics (pre-v4), so their wall times are not
-# comparable run-for-run; speedups against them are nulled out.
-MIN_BASELINE_SCHEMA = 6
+# Stable marker printed by bench::PrintPackedStats (the match-counting
+# benches: 1-NN and the SVM families):
+#   [packed] backend=native builds=12 rows=7200 words_per_row=2.00 \
+#       evals=48000 eval_words=96000
+# (words_per_row=n/a when nothing was packed inside the stats scope).
+# The full schema is documented in docs/BENCH_SCHEMA.md.
+PACKED_RE = re.compile(
+    r"^\[packed\] backend=(scalar|swar|native) builds=(\d+) rows=(\d+) "
+    r"words_per_row=(n/a|[0-9.]+) evals=(\d+) eval_words=(\d+)$")
+
+# Baselines from reports older than this schema lack the packed-code
+# counters (v7), the serving `errors` counter (pre-v6), the `serving`
+# block itself (pre-v5), or the smo/svm_cache semantics (pre-v4) — and
+# pre-v7 wall times predate the packed match-counting hot loops, so they
+# are not comparable run-for-run; speedups against them are nulled out.
+MIN_BASELINE_SCHEMA = 7
 
 
 class SvmCacheParseError(ValueError):
@@ -67,6 +78,43 @@ class SvmCacheParseError(ValueError):
 
 class ServingParseError(ValueError):
     """A bench printed a [serving] line this script cannot parse."""
+
+
+class PackedParseError(ValueError):
+    """A bench printed a [packed] line this script cannot parse."""
+
+
+def parse_packed(output: str):
+    """Extracts the packed-code counters a bench printed, if any.
+
+    Returns a dict, or None when the bench printed no [packed] line at
+    all. A line that STARTS with the marker but does not match the
+    schema raises PackedParseError, for the same fail-loudly reason as
+    parse_svm_cache.
+    """
+    parsed = None
+    for line in output.splitlines():
+        if not line.startswith("[packed]"):
+            continue
+        match = PACKED_RE.fullmatch(line.rstrip())
+        if match is None:
+            raise PackedParseError(
+                f"unparseable [packed] line: {line.rstrip()!r} "
+                f"(expected: {PACKED_RE.pattern!r}; "
+                "see docs/BENCH_SCHEMA.md)")
+        parsed = match
+    if parsed is None:
+        return None
+    words_per_row = parsed.group(4)
+    return {
+        "backend": parsed.group(1),
+        "builds": int(parsed.group(2)),
+        "rows": int(parsed.group(3)),
+        "words_per_row": (None if words_per_row == "n/a"
+                          else float(words_per_row)),
+        "evals": int(parsed.group(5)),
+        "eval_words": int(parsed.group(6)),
+    }
 
 
 def parse_serving(output: str):
@@ -186,6 +234,13 @@ def run_one(path: str, mode: str, timeout_s: int) -> dict:
         if exit_code == 0:
             sys.exit(f"[run_all] error: bench {name}: {exc}")
         serving = None
+    # Same contract for [packed] lines (1-NN / SVM benches).
+    try:
+        packed = parse_packed(output)
+    except PackedParseError as exc:
+        if exit_code == 0:
+            sys.exit(f"[run_all] error: bench {name}: {exc}")
+        packed = None
     return {
         "name": name,
         "figure": figure,
@@ -200,6 +255,9 @@ def run_one(path: str, mode: str, timeout_s: int) -> dict:
         # Per-family serving throughput through a model-format round trip
         # (bench_serving_throughput prints it; null for other benches).
         "serving": serving,
+        # Packed-code layer counters: active backend, build/eval volume
+        # (the 1-NN and SVM benches print them; null elsewhere).
+        "packed": packed,
         "stdout_tail": tail,
     }
 
@@ -207,7 +265,7 @@ def run_one(path: str, mode: str, timeout_s: int) -> dict:
 def main() -> int:
     ap = argparse.ArgumentParser(
         description=__doc__,
-        epilog="The output schema (currently version 6) is documented in "
+        epilog="The output schema (currently version 7) is documented in "
                "docs/BENCH_SCHEMA.md, alongside the HAMLET_BENCH_MODE / "
                "HAMLET_BENCH_BASELINE knobs.")
     ap.add_argument("--mode", default="smoke",
@@ -231,11 +289,10 @@ def main() -> int:
             with open(args.baseline) as f:
                 baseline = json.load(f)
             # A baseline from an older schema is not comparable bench-for-
-            # bench (pre-v6 reports predate the serving errors counter and
-            # the resilient-serving run loop): warn and null the speedup
-            # columns rather
-            # than report ratios against a different workload. Refresh the
-            # committed baseline with bench/refresh_baseline.py.
+            # bench (pre-v7 reports predate the packed match-counting hot
+            # loops): warn and null the speedup columns rather than report
+            # ratios against a different workload. Refresh the committed
+            # baseline with bench/refresh_baseline.py.
             schema = baseline.get("schema_version")
             if not isinstance(schema, int) or schema < MIN_BASELINE_SCHEMA:
                 print(f"[run_all] warning: baseline {args.baseline} has "
@@ -279,13 +336,14 @@ def main() -> int:
         results.append(result)
 
     report = {
-        # v6: serving entries carry an `errors` counter (rejected request
-        # lines, from the resilient-serving work), and baselines older
-        # than schema v6 are rejected with null speedups. v5 added the
-        # `serving` block; v4 added `smo` next to `svm_cache`.
-        # speedup_vs_baseline may be null when either wall time is too
-        # small to compare. See docs/BENCH_SCHEMA.md.
-        "schema_version": 6,
+        # v7: per-bench `packed` block (backend + packed-code build/eval
+        # counters from the simd match-counting layer), and baselines
+        # older than v7 are rejected with null speedups because their
+        # wall times predate the packed hot loops. v6 added the serving
+        # `errors` counter; v5 the `serving` block; v4 `smo` next to
+        # `svm_cache`. speedup_vs_baseline may be null when either wall
+        # time is too small to compare. See docs/BENCH_SCHEMA.md.
+        "schema_version": 7,
         "suite": "hamlet-bench",
         "mode": args.mode,
         # Wall times are only comparable at equal parallelism, so pin the

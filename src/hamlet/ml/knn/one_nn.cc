@@ -14,6 +14,7 @@ Status OneNearestNeighbor::Fit(const DataView& train) {
     return Status::InvalidArgument("empty training view");
   }
   train_ = CodeMatrix(train);
+  packed_train_ = PackedCodeMatrix(train_);
   RecordTrainDomains(train);
   return Status::OK();
 }
@@ -45,31 +46,43 @@ Result<std::unique_ptr<OneNearestNeighbor>> OneNearestNeighbor::LoadBody(
           "corrupt model: 1nn matrix domains disagree with the header");
     }
   }
+  // Pack only after validation: every code is proven < its domain, so the
+  // canonical layout covers the matrix.
+  model->packed_train_ = PackedCodeMatrix(model->train_);
   return Result<std::unique_ptr<OneNearestNeighbor>>(std::move(model));
 }
 
-size_t OneNearestNeighbor::NearestIndexOfCodes(const uint32_t* query) const {
+size_t OneNearestNeighbor::NearestIndexOfPacked(simd::Backend backend,
+                                                const uint64_t* query) const {
   assert(train_.num_rows() > 0);
-  const size_t d = train_.num_features();
+  const simd::PackedLayout& layout = packed_train_.layout();
   size_t best = 0;
-  size_t best_dist = d + 1;
+  size_t best_dist = layout.num_features + 1;
   const size_t n = train_.num_rows();
-  // Contiguous scan with an early exit once the running distance exceeds
-  // the best; ties break toward the earliest training row.
+  // Packed scan with a word-granular early exit once the running distance
+  // reaches the best; ties break toward the earliest training row. Any
+  // returned value >= best_dist means "not better" (the true distance is
+  // at least that), so the (best, best_dist) updates are exactly those of
+  // the scalar per-feature scan.
   for (size_t r = 0; r < n; ++r) {
-    const uint32_t* row = train_.row(r);
-    size_t dist = 0;
-    for (size_t j = 0; j < d; ++j) {
-      dist += row[j] != query[j];
-      if (dist >= best_dist) break;
-    }
+    const size_t dist = simd::PackedMismatchCountBounded(
+        backend, layout, packed_train_.row(r), query, best_dist);
     if (dist < best_dist) {
       best_dist = dist;
       best = r;
       if (dist == 0) break;
     }
   }
+  simd::AccumulatePackedEvals(
+      n, static_cast<uint64_t>(n) * layout.words_per_row);
   return best;
+}
+
+size_t OneNearestNeighbor::NearestIndexOfCodes(const uint32_t* query) const {
+  const simd::PackedLayout& layout = packed_train_.layout();
+  uint64_t* packed_query = ThreadLocalPackScratch(layout.words_per_row);
+  layout.PackRow(query, packed_query);
+  return NearestIndexOfPacked(simd::ActiveBackend(), packed_query);
 }
 
 size_t OneNearestNeighbor::NearestIndex(const DataView& view,
@@ -86,8 +99,15 @@ uint8_t OneNearestNeighbor::Predict(const DataView& view, size_t i) const {
 std::vector<uint8_t> OneNearestNeighbor::PredictAll(
     const DataView& view) const {
   assert(view.num_features() == train_.num_features());
-  return DensePredictAll(view, [&](const CodeMatrix& queries, size_t i) {
-    return train_.label(NearestIndexOfCodes(queries.row(i)));
+  // Backend resolved once for the batch; each worker thread packs its
+  // query row into its own scratch slab.
+  const simd::Backend backend = simd::ActiveBackend();
+  const simd::PackedLayout& layout = packed_train_.layout();
+  return DensePredictAll(view, [&, backend](const CodeMatrix& queries,
+                                            size_t i) {
+    uint64_t* packed_query = ThreadLocalPackScratch(layout.words_per_row);
+    layout.PackRow(queries.row(i), packed_query);
+    return train_.label(NearestIndexOfPacked(backend, packed_query));
   });
 }
 

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "hamlet/data/code_matrix.h"
+#include "hamlet/data/packed_code_matrix.h"
 #include "hamlet/ml/classifier.h"
 
 namespace hamlet {
@@ -47,8 +48,20 @@ class OneNearestNeighbor : public Classifier {
   size_t NearestIndexOfCodes(const uint32_t* query) const;
 
  private:
-  // Training data is materialised row-major for scan locality.
+  /// The scan itself, over a query packed under packed_train_'s layout.
+  /// Word-granular early exit: a row is abandoned once its running
+  /// mismatch count reaches the best distance so far. Because the
+  /// per-word counts accumulate monotonically — exactly like the scalar
+  /// per-feature loop — the surviving (best, best_dist) pair is
+  /// bit-identical to the scalar scan, including ties breaking toward
+  /// the earliest training row.
+  size_t NearestIndexOfPacked(simd::Backend backend,
+                              const uint64_t* query) const;
+
+  // Training data is materialised row-major for scan locality, with a
+  // bit-packed mirror (built at Fit/LoadBody) for the distance scan.
   CodeMatrix train_;
+  PackedCodeMatrix packed_train_;
 };
 
 }  // namespace ml

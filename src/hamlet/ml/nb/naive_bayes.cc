@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "hamlet/io/model_io.h"
+#include "hamlet/simd/simd.h"
 
 namespace hamlet {
 namespace ml {
@@ -31,24 +32,21 @@ Status NaiveBayes::Fit(const DataView& train) {
   // One row-major pass over the dense matrix fills every feature's
   // (code, label) counts in a single flat buffer (prefix offsets of
   // 2 * domain_size per feature), so the hot loop has no per-feature
-  // pointer chase. Each cell accumulates in row order, so the result is
-  // identical to the previous per-feature column scans.
+  // pointer chase. The counts are integers accumulated through the
+  // simd backend helper (multi-lane histograms; the lane split breaks
+  // the store-to-load dependency between adjacent rows). Integer sums
+  // are order-independent and every count is far below 2^53, so the
+  // double conversion below is exact and the log tables stay
+  // bit-identical across backends, thread counts and the old
+  // double-accumulating loop.
   std::vector<size_t> offsets(d_ + 1, 0);
   for (size_t j = 0; j < d_; ++j) {
     offsets[j + 1] = offsets[j] + static_cast<size_t>(m.domain_size(j)) * 2;
   }
-  std::vector<double> counts(offsets[d_], 0.0);
-  for (size_t i = 0; i < n; ++i) {
-    const uint32_t* row = m.row(i);
-    const uint8_t label = m.label(i);
-    for (size_t j = 0; j < d_; ++j) {
-      // In the flat buffer an out-of-domain code would silently corrupt
-      // the next feature's counts instead of tripping ASan; keep the
-      // domain guarantee visible in checked builds.
-      assert(row[j] < m.domain_size(j));
-      counts[offsets[j] + static_cast<size_t>(row[j]) * 2 + label] += 1.0;
-    }
-  }
+  std::vector<uint32_t> counts(offsets[d_], 0);
+  simd::CountCodeLabelPairs(simd::ActiveBackend(), m.codes().data(),
+                            m.labels().data(), n, d_, offsets.data(),
+                            counts.data());
 
   log_likelihood_.assign(d_, {});
   for (size_t j = 0; j < d_; ++j) {
@@ -57,16 +55,18 @@ Status NaiveBayes::Fit(const DataView& train) {
         static_cast<double>(pos) + a * static_cast<double>(domain);
     const double denom_neg =
         static_cast<double>(neg) + a * static_cast<double>(domain);
-    const double* feature_counts = counts.data() + offsets[j];
+    const uint32_t* feature_counts = counts.data() + offsets[j];
     std::vector<double>& ll = log_likelihood_[j];
     ll.resize(static_cast<size_t>(domain) * 2);
     for (uint32_t c = 0; c < domain; ++c) {
-      ll[static_cast<size_t>(c) * 2 + 1] =
-          std::log((feature_counts[static_cast<size_t>(c) * 2 + 1] + a) /
-                   denom_pos);
-      ll[static_cast<size_t>(c) * 2 + 0] =
-          std::log((feature_counts[static_cast<size_t>(c) * 2 + 0] + a) /
-                   denom_neg);
+      ll[static_cast<size_t>(c) * 2 + 1] = std::log(
+          (static_cast<double>(feature_counts[static_cast<size_t>(c) * 2 + 1]) +
+           a) /
+          denom_pos);
+      ll[static_cast<size_t>(c) * 2 + 0] = std::log(
+          (static_cast<double>(feature_counts[static_cast<size_t>(c) * 2 + 0]) +
+           a) /
+          denom_neg);
     }
   }
   fitted_ = true;

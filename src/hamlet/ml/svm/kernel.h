@@ -14,6 +14,8 @@
 #include <string>
 #include <vector>
 
+#include "hamlet/simd/simd.h"
+
 namespace hamlet {
 namespace ml {
 
@@ -40,9 +42,23 @@ struct KernelConfig {
 /// Number of matching positions between two code vectors of length d.
 size_t MatchCount(const uint32_t* a, const uint32_t* b, size_t d);
 
+/// Kernel value from a precomputed match count (0 <= matches <= d). The
+/// single site of the kernel float math: the scalar and packed paths both
+/// route through it, so equal match counts give bit-identical values.
+double KernelFromMatches(const KernelConfig& config, size_t matches,
+                         size_t d);
+
 /// Kernel value for two code vectors of length d.
 double KernelEval(const KernelConfig& config, const uint32_t* a,
                   const uint32_t* b, size_t d);
+
+/// Kernel value for two rows packed under `layout` (see
+/// data/packed_code_matrix.h). Bit-identical to KernelEval on the
+/// unpacked codes: the backends produce exact match counts and the float
+/// math is shared via KernelFromMatches.
+double PackedKernelEval(const KernelConfig& config, simd::Backend backend,
+                        const simd::PackedLayout& layout, const uint64_t* a,
+                        const uint64_t* b);
 
 /// Dense symmetric Gram matrix over `rows` (n rows of length d, row-major),
 /// stored row-major as n*n floats. The production fit path computes rows

@@ -62,7 +62,10 @@ size_t KernelCacheBytesFromEnv() {
 
 KernelCache::KernelCache(CodeMatrix matrix, const KernelConfig& kernel,
                          size_t cache_bytes)
-    : matrix_(std::move(matrix)), kernel_(kernel) {
+    : matrix_(std::move(matrix)),
+      packed_(matrix_),
+      backend_(simd::ActiveBackend()),
+      kernel_(kernel) {
   const size_t n = matrix_.num_rows();
   if (cache_bytes == 0) cache_bytes = KernelCacheBytesFromEnv();
   const size_t row_bytes = (n == 0 ? 1 : n) * sizeof(float);
@@ -76,10 +79,12 @@ KernelCache::KernelCache(CodeMatrix matrix, const KernelConfig& kernel,
   capacity_rows_ = rows;
   diag_.resize(n);
   for (size_t i = 0; i < n; ++i) {
-    const uint32_t* ri = matrix_.row(i);
+    const uint64_t* ri = packed_.row(i);
     diag_[i] = static_cast<float>(
-        KernelEval(kernel_, ri, ri, matrix_.num_features()));
+        PackedKernelEval(kernel_, backend_, packed_.layout(), ri, ri));
   }
+  packed_evals_ += n;
+  packed_words_ += static_cast<uint64_t>(n) * packed_.layout().words_per_row;
   slot_of_row_.assign(n, -1);
   row_of_slot_.assign(capacity_rows_, -1);
   prev_.assign(capacity_rows_, -1);
@@ -93,6 +98,7 @@ KernelCache::KernelCache(CodeMatrix matrix, const KernelConfig& kernel,
 KernelCache::~KernelCache() {
   g_total_hits.fetch_add(hits_, std::memory_order_relaxed);
   g_total_misses.fetch_add(misses_, std::memory_order_relaxed);
+  simd::AccumulatePackedEvals(packed_evals_, packed_words_);
 }
 
 bool KernelCache::Cached(size_t i) const {
@@ -101,24 +107,30 @@ bool KernelCache::Cached(size_t i) const {
 }
 
 void KernelCache::ComputeRow(size_t i, float* out) const {
-  const size_t d = matrix_.num_features();
-  const uint32_t* ri = matrix_.row(i);
+  const simd::PackedLayout& layout = packed_.layout();
+  const uint64_t* ri = packed_.row(i);
   // Same double->float narrowing as ComputeGram, so a cached row entry is
   // bit-identical to the corresponding full-Gram entry. Under an active
   // restriction only the restricted columns are computed; the others stay
   // whatever the slot held before (callers must not read them).
+  size_t cols;
   if (restrict_idx_.empty()) {
     const size_t n = matrix_.num_rows();
     for (size_t t = 0; t < n; ++t) {
-      out[t] =
-          static_cast<float>(KernelEval(kernel_, ri, matrix_.row(t), d));
+      out[t] = static_cast<float>(
+          PackedKernelEval(kernel_, backend_, layout, ri, packed_.row(t)));
     }
-    return;
+    cols = n;
+  } else {
+    for (const int32_t col : restrict_idx_) {
+      const size_t t = static_cast<size_t>(col);
+      out[t] = static_cast<float>(
+          PackedKernelEval(kernel_, backend_, layout, ri, packed_.row(t)));
+    }
+    cols = restrict_idx_.size();
   }
-  for (const int32_t col : restrict_idx_) {
-    const size_t t = static_cast<size_t>(col);
-    out[t] = static_cast<float>(KernelEval(kernel_, ri, matrix_.row(t), d));
-  }
+  packed_evals_ += cols;
+  packed_words_ += static_cast<uint64_t>(cols) * layout.words_per_row;
 }
 
 void KernelCache::RestrictActive(const int32_t* indices, size_t count) {
@@ -170,9 +182,10 @@ float KernelCache::At(size_t i, size_t j) const {
   if (si >= 0 && SlotUsable(si)) return slots_[static_cast<size_t>(si)][j];
   const int32_t sj = slot_of_row_[j];
   if (sj >= 0 && SlotUsable(sj)) return slots_[static_cast<size_t>(sj)][i];
-  return static_cast<float>(KernelEval(kernel_, matrix_.row(i),
-                                       matrix_.row(j),
-                                       matrix_.num_features()));
+  ++packed_evals_;
+  packed_words_ += packed_.layout().words_per_row;
+  return static_cast<float>(PackedKernelEval(
+      kernel_, backend_, packed_.layout(), packed_.row(i), packed_.row(j)));
 }
 
 const float* KernelCache::Row(size_t i) {

@@ -37,6 +37,7 @@ Status KernelSvm::Fit(const DataView& train) {
     converged_ = true;
     sv_rows_.clear();
     sv_coeff_.clear();
+    sv_packed_.clear();
     last_cache_hits_ = 0;
     last_cache_misses_ = 0;
     last_iterations_ = 0;
@@ -84,9 +85,22 @@ Status KernelSvm::Fit(const DataView& train) {
                       rows.begin() + static_cast<long>((i + 1) * d_));
     }
   }
+  PackSupportVectors(cache.matrix().domain_sizes());
   fitted_ = true;
   RecordTrainDomains(train);
   return Status::OK();
+}
+
+void KernelSvm::PackSupportVectors(const std::vector<uint32_t>& domains) {
+  sv_layout_ = simd::PackedLayout::ForDomains(domains.data(), d_);
+  const size_t num_sv = sv_coeff_.size();
+  const size_t words_per_row = sv_layout_.words_per_row;
+  sv_packed_.assign(num_sv * words_per_row, 0);
+  for (size_t s = 0; s < num_sv; ++s) {
+    sv_layout_.PackRow(sv_rows_.data() + s * d_,
+                       sv_packed_.data() + s * words_per_row);
+  }
+  simd::AccumulatePackedBuild(num_sv, sv_packed_.size());
 }
 
 Status KernelSvm::SaveBody(io::ModelWriter& writer) const {
@@ -151,18 +165,30 @@ Result<std::unique_ptr<KernelSvm>> KernelSvm::LoadBody(
     return Status::InvalidArgument(
         "corrupt model: svm constant prediction not a binary label");
   }
+  model->PackSupportVectors(domains);
   model->fitted_ = true;
   return Result<std::unique_ptr<KernelSvm>>(std::move(model));
 }
 
-double KernelSvm::DecisionValueOfCodes(const uint32_t* query) const {
+double KernelSvm::DecisionValueOfPacked(simd::Backend backend,
+                                        const uint64_t* query) const {
   double f = bias_;
   const size_t num_sv = sv_coeff_.size();
+  const size_t words_per_row = sv_layout_.words_per_row;
   for (size_t s = 0; s < num_sv; ++s) {
     f += sv_coeff_[s] *
-         KernelEval(config_.kernel, &sv_rows_[s * d_], query, d_);
+         PackedKernelEval(config_.kernel, backend, sv_layout_,
+                          sv_packed_.data() + s * words_per_row, query);
   }
+  simd::AccumulatePackedEvals(
+      num_sv, static_cast<uint64_t>(num_sv) * words_per_row);
   return f;
+}
+
+double KernelSvm::DecisionValueOfCodes(const uint32_t* query) const {
+  uint64_t* packed_query = ThreadLocalPackScratch(sv_layout_.words_per_row);
+  sv_layout_.PackRow(query, packed_query);
+  return DecisionValueOfPacked(simd::ActiveBackend(), packed_query);
 }
 
 double KernelSvm::DecisionValue(const DataView& view, size_t i) const {
@@ -180,9 +206,15 @@ std::vector<uint8_t> KernelSvm::PredictAll(const DataView& view) const {
     return std::vector<uint8_t>(view.num_rows(), constant_prediction_);
   }
   assert(view.num_features() == d_);
-  return DensePredictAll(view, [&](const CodeMatrix& queries, size_t i) {
-    return DecisionValueOfCodes(queries.row(i)) >= 0.0 ? uint8_t{1}
-                                                       : uint8_t{0};
+  // Backend resolved once for the batch; each worker thread packs its
+  // query row into its own scratch slab.
+  const simd::Backend backend = simd::ActiveBackend();
+  return DensePredictAll(view, [&, backend](const CodeMatrix& queries,
+                                            size_t i) {
+    uint64_t* packed_query = ThreadLocalPackScratch(sv_layout_.words_per_row);
+    sv_layout_.PackRow(queries.row(i), packed_query);
+    return DecisionValueOfPacked(backend, packed_query) >= 0.0 ? uint8_t{1}
+                                                               : uint8_t{0};
   });
 }
 

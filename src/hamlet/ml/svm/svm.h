@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "hamlet/data/code_matrix.h"
+#include "hamlet/data/packed_code_matrix.h"
 #include "hamlet/ml/classifier.h"
 #include "hamlet/ml/svm/kernel.h"
 #include "hamlet/ml/svm/smo.h"
@@ -89,11 +90,23 @@ class KernelSvm : public Classifier {
   size_t last_unshrink_events() const { return last_unshrink_events_; }
 
  private:
+  /// Rebuilds the packed support-vector slab (sv_layout_ / sv_packed_)
+  /// from sv_rows_ under the canonical layout for `domains`; called at
+  /// the end of Fit and LoadBody. Queries are packed into the same
+  /// layout at prediction time.
+  void PackSupportVectors(const std::vector<uint32_t>& domains);
+  /// Decision value for a query already packed under sv_layout_; the
+  /// shared kernel-sum loop of Predict/PredictAll/DecisionValue.
+  double DecisionValueOfPacked(simd::Backend backend,
+                               const uint64_t* query) const;
+
   SvmConfig config_;
   bool fitted_ = false;
   size_t d_ = 0;
   std::vector<uint32_t> sv_rows_;    // support vectors, row-major codes
   std::vector<double> sv_coeff_;     // alpha_i * y_i per support vector
+  simd::PackedLayout sv_layout_;     // packing layout shared with queries
+  std::vector<uint64_t> sv_packed_;  // sv_rows_ packed, words_per_row each
   double bias_ = 0.0;
   uint8_t constant_prediction_ = 0;  // used when training was single-class
   bool is_constant_ = false;

@@ -42,6 +42,7 @@ Status DecisionTree::Fit(const DataView& train) {
   root_ = -1;
   num_features_ = m.num_features();
 
+  fit_backend_ = simd::ActiveBackend();
   scratch_count_.assign(num_features_, {});
   scratch_pos_.assign(num_features_, {});
   for (size_t j = 0; j < num_features_; ++j) {
@@ -198,14 +199,14 @@ int DecisionTree::BuildNode(const CodeMatrix& train,
     auto& pos_count = scratch_pos_[j];
 
     // Per-code stats for this node; track touched codes for cheap reset.
+    // The gather runs through the simd split-scan helper (unrolled row
+    // loads, updates in row order), so counts and first-seen order are
+    // identical to a plain per-row loop on every backend.
     std::vector<uint32_t> touched;
     touched.reserve(std::min<size_t>(n, domain));
-    for (size_t i = begin; i < end; ++i) {
-      const uint32_t c = train.at(rows[i], j);
-      if (count[c] == 0) touched.push_back(c);
-      ++count[c];
-      pos_count[c] += train.label(rows[i]);
-    }
+    simd::SplitStatsScan(fit_backend_, train.codes().data(), num_features_,
+                         train.labels().data(), rows.data() + begin, n, j,
+                         count.data(), pos_count.data(), touched);
     if (touched.size() >= 2) {
       // Breiman ordering: sort codes by positive fraction (ties by code for
       // determinism), then scan the K-1 prefix partitions.

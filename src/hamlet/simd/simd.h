@@ -1,0 +1,175 @@
+// Runtime-dispatched vector backends for the packed-code hot loops.
+//
+// Every inner loop the paper's experiments live in — 1-NN Hamming
+// distance, the linear/overlap SVM kernels, NB counting, tree split
+// scans — is a scan over uint32_t categorical codes. Packing the codes
+// into fixed-width bit fields (see PackedLayout) turns match counting
+// into XOR + carry-trick + popcount over uint64_t words: 16-64 codes per
+// cache line instead of one per 4 bytes. Three interchangeable backends
+// implement the word-level counting:
+//
+//   kScalar  per-field shift/mask test; the portable reference.
+//   kSwar    guard-bit carry trick + bit-twiddling popcount (any 64-bit
+//            host, no intrinsics).
+//   kNative  same word math with hardware popcount (x86-64 POPCNT with
+//            an AVX2 block path for long rows; on aarch64 the compiler
+//            lowers __builtin_popcountll to NEON cnt).
+//
+// All three return exactly the same integer counts for every input, so
+// every downstream float computation consumes identical integers and the
+// repo's bit-identical determinism contract holds across backends — the
+// parity suite (tests/packed_parity_test.cc) enforces this.
+//
+// Selection: HAMLET_SIMD=scalar|swar|native|auto (unset/auto picks the
+// best available; unknown values warn once and fall back to auto;
+// "native" on hardware without popcount warns once and runs swar).
+// Callers resolve ActiveBackend() once per fit/batch and pass the enum
+// down; the per-pair dispatch is a branch on that enum.
+//
+// The word-level helpers here are layout math on raw pointers only; the
+// owning container is data/packed_code_matrix.h.
+
+#ifndef HAMLET_SIMD_SIMD_H_
+#define HAMLET_SIMD_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hamlet {
+namespace simd {
+
+enum class Backend {
+  kScalar,
+  kSwar,
+  kNative,
+};
+
+const char* BackendName(Backend backend);
+
+/// True when the hardware-popcount backend is usable on this host (POPCNT
+/// on x86-64, always on aarch64). When false, requests for kNative run
+/// the SWAR path instead.
+bool NativeAvailable();
+
+/// Backend selected by HAMLET_SIMD (warn-once grammar, see file comment).
+/// Unset or "auto" resolves to kNative when available, else kSwar. Cheap
+/// enough to call per fit/batch; not meant for per-pair calls.
+Backend ActiveBackend();
+
+/// Bit-field layout shared by every packed row that must be comparable.
+///
+/// Each code occupies a field of `field_bits` = (bits needed for the
+/// largest code) + 1 bits; the extra top bit is a guard that is always
+/// stored as 0. For x = a XOR b, adding (2^(field_bits-1) - 1) to every
+/// field (`add_mask`) carries into the guard bit exactly when the field
+/// is non-zero, and the carry cannot escape the field — so
+/// popcount((x + add_mask) & guard_mask) is the mismatch count of one
+/// word. Unused tail fields of the last word are zero in every row and
+/// contribute no mismatches.
+struct PackedLayout {
+  size_t num_features = 0;
+  uint32_t field_bits = 2;      ///< value bits + 1 guard bit
+  size_t fields_per_word = 32;  ///< 64 / field_bits
+  size_t words_per_row = 0;     ///< ceil(num_features / fields_per_word)
+  uint64_t guard_mask = 0;      ///< guard bit of every field in a word
+  uint64_t add_mask = 0;        ///< (2^(field_bits-1) - 1) in every field
+
+  /// Layout wide enough for `d` features whose codes come from the given
+  /// per-feature domain sizes (codes are < domain). The layout depends
+  /// only on the largest domain, so matrices with equal domains share it.
+  static PackedLayout ForDomains(const uint32_t* domains, size_t d);
+
+  /// Layout wide enough for codes up to and including `max_code`.
+  static PackedLayout ForMaxCode(uint32_t max_code, size_t d);
+
+  /// Packs one row of num_features codes into out[0 .. words_per_row).
+  /// Every code must fit the layout (checked via assert).
+  void PackRow(const uint32_t* codes, uint64_t* out) const;
+
+  /// Unpacks feature j from a packed row (tests and debug checks).
+  uint32_t UnpackCode(const uint64_t* row, size_t j) const;
+
+  /// Two layouts produce interchangeable packed rows iff all field
+  /// parameters agree.
+  bool Compatible(const PackedLayout& other) const {
+    return num_features == other.num_features &&
+           field_bits == other.field_bits;
+  }
+};
+
+/// Number of mismatching features between two packed rows of the same
+/// layout. All backends return the same count for every input.
+size_t PackedMismatchCount(Backend backend, const PackedLayout& layout,
+                           const uint64_t* a, const uint64_t* b);
+
+/// Early-exit variant for 1-NN: stops scanning words once the running
+/// mismatch count reaches `limit` and returns a value >= limit. For
+/// results < limit the count is exact; callers must treat any returned
+/// value >= limit as "not better".
+size_t PackedMismatchCountBounded(Backend backend, const PackedLayout& layout,
+                                  const uint64_t* a, const uint64_t* b,
+                                  size_t limit);
+
+/// Matching features between two packed rows (num_features - mismatches);
+/// the quantity the linear/poly kernels consume directly.
+inline size_t PackedMatchCount(Backend backend, const PackedLayout& layout,
+                               const uint64_t* a, const uint64_t* b) {
+  return layout.num_features -
+         PackedMismatchCount(backend, layout, a, b);
+}
+
+/// NB fit counting: for every (row i, feature j) increments
+/// counts[offsets[j] + codes[i*d + j] * 2 + labels[i]]. `offsets` has
+/// d + 1 entries (prefix sums of 2 * domain_size); `counts` has
+/// offsets[d] entries. Backends differ only in how many interleaved
+/// accumulator lanes they use (1/2/4); lane sums are integers, so every
+/// backend produces identical counts in any order.
+void CountCodeLabelPairs(Backend backend, const uint32_t* codes,
+                         const uint8_t* labels, size_t n, size_t d,
+                         const size_t* offsets, uint32_t* counts);
+
+/// Tree split scan: per-code stats of `feature` over the node's rows
+/// (row_ids[0..n)). Increments count[c] / pos_count[c] and appends each
+/// code to `touched` the first time it is seen (count[c] == 0 before the
+/// increment), exactly like the scalar loop in DecisionTree::BuildNode.
+/// Backends unroll the row loads differently but apply the updates in
+/// row order, so `touched` order and all counts are identical.
+void SplitStatsScan(Backend backend, const uint32_t* codes,
+                    size_t num_features, const uint8_t* labels,
+                    const uint32_t* row_ids, size_t n, size_t feature,
+                    uint32_t* count, uint32_t* pos_count,
+                    std::vector<uint32_t>& touched);
+
+/// Process-wide packed-path counters for bench reporting, summed with
+/// relaxed atomics (same pattern as GlobalKernelCacheTotals): matrix
+/// builds, rows packed and the words holding them (build_words / rows =
+/// average words per row), pairwise evaluations routed through a packed
+/// backend, and the words those evaluations scanned (an upper bound
+/// where early exit applies).
+struct PackedStats {
+  uint64_t builds = 0;
+  uint64_t rows = 0;
+  uint64_t build_words = 0;
+  uint64_t evals = 0;
+  uint64_t eval_words = 0;
+};
+
+/// Snapshot of the totals accumulated so far; monotone, never reset
+/// implicitly. Benches scope them by subtracting two snapshots
+/// (bench::PackedStatsScope).
+PackedStats GlobalPackedStats();
+
+/// Zeroes the process-wide totals (test isolation).
+void ResetGlobalPackedStats();
+
+/// Accumulates one packed-matrix build of `rows` rows / `words` words.
+void AccumulatePackedBuild(uint64_t rows, uint64_t words);
+
+/// Accumulates `evals` pairwise evaluations spanning `words` words.
+void AccumulatePackedEvals(uint64_t evals, uint64_t words);
+
+}  // namespace simd
+}  // namespace hamlet
+
+#endif  // HAMLET_SIMD_SIMD_H_

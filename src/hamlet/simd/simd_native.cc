@@ -1,0 +1,177 @@
+// Hardware-popcount backend. Isolated in its own translation unit so the
+// x86-64 functions can carry __attribute__((target(...))) — the rest of
+// the library still compiles for the baseline ISA and the dispatcher
+// only routes here after __builtin_cpu_supports confirms the feature.
+
+#include "hamlet/simd/simd_native.h"
+
+#include "hamlet/simd/simd.h"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define HAMLET_SIMD_X86_NATIVE 1
+#include <immintrin.h>
+#endif
+
+namespace hamlet {
+namespace simd {
+namespace detail {
+
+namespace {
+
+/// Same guard-bit carry trick as the SWAR backend (see simd.cc): the
+/// word math is shared verbatim, only the popcount differs, so the two
+/// backends agree bit for bit.
+inline uint64_t MismatchGuardBits(uint64_t x, const PackedLayout& layout) {
+  return (x + layout.add_mask) & layout.guard_mask;
+}
+
+#if !defined(HAMLET_SIMD_X86_NATIVE) && !defined(__aarch64__)
+/// Bit-twiddling popcount for the defensive fallback on hosts with no
+/// native path (the dispatcher normally resolves kNative away first).
+inline uint32_t PopcountSwar(uint64_t x) {
+  x = x - ((x >> 1) & 0x5555555555555555ull);
+  x = (x & 0x3333333333333333ull) + ((x >> 2) & 0x3333333333333333ull);
+  x = (x + (x >> 4)) & 0x0f0f0f0f0f0f0f0full;
+  return static_cast<uint32_t>((x * 0x0101010101010101ull) >> 56);
+}
+#endif
+
+#ifdef HAMLET_SIMD_X86_NATIVE
+
+__attribute__((target("popcnt"))) size_t MismatchPopcnt(
+    const PackedLayout& layout, const uint64_t* a, const uint64_t* b) {
+  size_t mismatches = 0;
+  for (size_t w = 0; w < layout.words_per_row; ++w) {
+    mismatches += static_cast<size_t>(
+        _mm_popcnt_u64(MismatchGuardBits(a[w] ^ b[w], layout)));
+  }
+  return mismatches;
+}
+
+__attribute__((target("popcnt"))) size_t MismatchPopcntBounded(
+    const PackedLayout& layout, const uint64_t* a, const uint64_t* b,
+    size_t limit) {
+  size_t mismatches = 0;
+  for (size_t w = 0; w < layout.words_per_row; ++w) {
+    mismatches += static_cast<size_t>(
+        _mm_popcnt_u64(MismatchGuardBits(a[w] ^ b[w], layout)));
+    if (mismatches >= limit) return mismatches;
+  }
+  return mismatches;
+}
+
+/// Block path for long rows: four words per iteration through AVX2
+/// XOR/add/and, popcounted from a spilled register. Only worth the lane
+/// shuffling once rows span several cache lines.
+__attribute__((target("avx2,popcnt"))) size_t MismatchAvx2(
+    const PackedLayout& layout, const uint64_t* a, const uint64_t* b) {
+  const __m256i add =
+      _mm256_set1_epi64x(static_cast<long long>(layout.add_mask));
+  const __m256i guard =
+      _mm256_set1_epi64x(static_cast<long long>(layout.guard_mask));
+  size_t mismatches = 0;
+  size_t w = 0;
+  for (; w + 4 <= layout.words_per_row; w += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + w));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + w));
+    const __m256i guarded = _mm256_and_si256(
+        _mm256_add_epi64(_mm256_xor_si256(va, vb), add), guard);
+    alignas(32) uint64_t lanes[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), guarded);
+    mismatches += static_cast<size_t>(
+        _mm_popcnt_u64(lanes[0]) + _mm_popcnt_u64(lanes[1]) +
+        _mm_popcnt_u64(lanes[2]) + _mm_popcnt_u64(lanes[3]));
+  }
+  for (; w < layout.words_per_row; ++w) {
+    mismatches += static_cast<size_t>(
+        _mm_popcnt_u64(MismatchGuardBits(a[w] ^ b[w], layout)));
+  }
+  return mismatches;
+}
+
+bool HasAvx2() {
+  static const bool supported = __builtin_cpu_supports("avx2");
+  return supported;
+}
+
+#endif  // HAMLET_SIMD_X86_NATIVE
+
+}  // namespace
+
+#ifdef HAMLET_SIMD_X86_NATIVE
+
+bool NativeSupported() {
+  static const bool supported = __builtin_cpu_supports("popcnt");
+  return supported;
+}
+
+size_t MismatchNative(const PackedLayout& layout, const uint64_t* a,
+                      const uint64_t* b) {
+  if (layout.words_per_row >= 8 && HasAvx2()) {
+    return MismatchAvx2(layout, a, b);
+  }
+  return MismatchPopcnt(layout, a, b);
+}
+
+size_t MismatchNativeBounded(const PackedLayout& layout, const uint64_t* a,
+                             const uint64_t* b, size_t limit) {
+  return MismatchPopcntBounded(layout, a, b, limit);
+}
+
+#elif defined(__aarch64__)
+
+// aarch64 has no runtime feature question: __builtin_popcountll lowers
+// to the NEON cnt/addv sequence on every ARMv8 core.
+bool NativeSupported() { return true; }
+
+size_t MismatchNative(const PackedLayout& layout, const uint64_t* a,
+                      const uint64_t* b) {
+  size_t mismatches = 0;
+  for (size_t w = 0; w < layout.words_per_row; ++w) {
+    mismatches += static_cast<size_t>(
+        __builtin_popcountll(MismatchGuardBits(a[w] ^ b[w], layout)));
+  }
+  return mismatches;
+}
+
+size_t MismatchNativeBounded(const PackedLayout& layout, const uint64_t* a,
+                             const uint64_t* b, size_t limit) {
+  size_t mismatches = 0;
+  for (size_t w = 0; w < layout.words_per_row; ++w) {
+    mismatches += static_cast<size_t>(
+        __builtin_popcountll(MismatchGuardBits(a[w] ^ b[w], layout)));
+    if (mismatches >= limit) return mismatches;
+  }
+  return mismatches;
+}
+
+#else
+
+bool NativeSupported() { return false; }
+
+size_t MismatchNative(const PackedLayout& layout, const uint64_t* a,
+                      const uint64_t* b) {
+  size_t mismatches = 0;
+  for (size_t w = 0; w < layout.words_per_row; ++w) {
+    mismatches += PopcountSwar(MismatchGuardBits(a[w] ^ b[w], layout));
+  }
+  return mismatches;
+}
+
+size_t MismatchNativeBounded(const PackedLayout& layout, const uint64_t* a,
+                             const uint64_t* b, size_t limit) {
+  size_t mismatches = 0;
+  for (size_t w = 0; w < layout.words_per_row; ++w) {
+    mismatches += PopcountSwar(MismatchGuardBits(a[w] ^ b[w], layout));
+    if (mismatches >= limit) return mismatches;
+  }
+  return mismatches;
+}
+
+#endif
+
+}  // namespace detail
+}  // namespace simd
+}  // namespace hamlet

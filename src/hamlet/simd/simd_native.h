@@ -1,0 +1,39 @@
+// Internal interface between the backend dispatcher (simd.cc) and the
+// hardware-popcount translation unit (simd_native.cc). The native word
+// math is identical to the SWAR backend's — only the popcount differs —
+// so the counts are bit-identical by construction. Not part of the
+// public simd API; include hamlet/simd/simd.h instead.
+
+#ifndef HAMLET_SIMD_SIMD_NATIVE_H_
+#define HAMLET_SIMD_SIMD_NATIVE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hamlet {
+namespace simd {
+
+struct PackedLayout;
+
+namespace detail {
+
+/// True when this host can run the hardware-popcount path (POPCNT on
+/// x86-64, unconditional on aarch64, false elsewhere). Cached after the
+/// first call.
+bool NativeSupported();
+
+/// Mismatch count over packed rows using hardware popcount; only called
+/// when NativeSupported(). Long rows take an AVX2 block path where the
+/// CPU has it.
+size_t MismatchNative(const PackedLayout& layout, const uint64_t* a,
+                      const uint64_t* b);
+
+/// Early-exit variant: stops once the running count reaches `limit`.
+size_t MismatchNativeBounded(const PackedLayout& layout, const uint64_t* a,
+                             const uint64_t* b, size_t limit);
+
+}  // namespace detail
+}  // namespace simd
+}  // namespace hamlet
+
+#endif  // HAMLET_SIMD_SIMD_NATIVE_H_
